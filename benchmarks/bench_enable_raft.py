@@ -1,0 +1,15 @@
+"""§5.2: enable-raft rollout write-unavailability."""
+
+from repro.experiments.rollout_drill import run_rollout_drill
+
+
+def test_enable_raft_rollout(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_rollout_drill(runs=4), rounds=1, iterations=1
+    )
+    report_printer(result.format_report())
+    assert result.failures == 0
+    assert len(result.windows) == 4
+    # "A small amount of write unavailability (usually a few seconds)".
+    for window in result.windows:
+        assert window < 10.0

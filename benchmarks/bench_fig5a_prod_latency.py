@@ -1,0 +1,18 @@
+"""Figure 5a: commit-latency histogram, production workload (§6.1)."""
+
+from benchmarks.conftest import get_ab
+from repro.experiments.common import PAPER_FIG5A_AVG_US
+from repro.experiments.fig5_latency import LatencyFigureResult
+
+
+def test_fig5a_production_latency(benchmark, report_printer):
+    ab = benchmark.pedantic(lambda: get_ab("production"), rounds=1, iterations=1)
+    result = LatencyFigureResult("Figure 5a", ab, PAPER_FIG5A_AVG_US)
+    report_printer(result.format_report())
+    # Shape assertions: MyRaft within +0..5% of the prior setup; both in
+    # the tens-of-milliseconds band the 10ms client RTT dictates.
+    delta = ab.latency_delta_percent()
+    assert -1.0 < delta < 5.0, f"latency delta {delta:.2f}% out of band"
+    assert 0.011 < ab.myraft.latency.mean() < 0.030
+    series = result.histogram_series()
+    assert sum(series["myraft_counts"]) == ab.myraft.latency.count

@@ -1,0 +1,15 @@
+"""Figure 5b: throughput over time, production workload (§6.1)."""
+
+from benchmarks.conftest import get_ab
+from repro.experiments.fig5_throughput import ThroughputFigureResult
+
+
+def test_fig5b_production_throughput(benchmark, report_printer):
+    ab = benchmark.pedantic(lambda: get_ab("production"), rounds=1, iterations=1)
+    result = ThroughputFigureResult("Figure 5b", ab)
+    report_printer(result.format_report())
+    # Paper: no significant difference in throughput.
+    delta = abs(ab.throughput_delta_percent())
+    assert delta < 5.0, f"throughput delta {delta:.2f}% too large"
+    # The series is dense (no availability gaps during steady state).
+    assert ab.myraft.throughput.stalled_buckets() == 0

@@ -1,0 +1,16 @@
+"""Figure 5c: commit-latency histogram, sysbench OLTP write (§6.1)."""
+
+from benchmarks.conftest import get_ab
+from repro.experiments.common import PAPER_FIG5C_AVG_US
+from repro.experiments.fig5_latency import LatencyFigureResult
+
+
+def test_fig5c_sysbench_latency(benchmark, report_printer):
+    ab = benchmark.pedantic(lambda: get_ab("sysbench"), rounds=1, iterations=1)
+    result = LatencyFigureResult("Figure 5c", ab, PAPER_FIG5C_AVG_US)
+    report_printer(result.format_report())
+    # Shape: MyRaft slightly slower (paper +1.9%), both sub-2ms.
+    delta = ab.latency_delta_percent()
+    assert -1.0 < delta < 8.0, f"latency delta {delta:.2f}% out of band"
+    assert ab.myraft.latency.mean() < 0.002
+    assert ab.semisync.latency.mean() < 0.002

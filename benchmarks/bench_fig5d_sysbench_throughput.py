@@ -1,0 +1,12 @@
+"""Figure 5d: throughput over time, sysbench OLTP write (§6.1)."""
+
+from benchmarks.conftest import get_ab
+from repro.experiments.fig5_throughput import ThroughputFigureResult
+
+
+def test_fig5d_sysbench_throughput(benchmark, report_printer):
+    ab = benchmark.pedantic(lambda: get_ab("sysbench"), rounds=1, iterations=1)
+    result = ThroughputFigureResult("Figure 5d", ab)
+    report_printer(result.format_report())
+    delta = abs(ab.throughput_delta_percent())
+    assert delta < 6.0, f"throughput delta {delta:.2f}% too large"

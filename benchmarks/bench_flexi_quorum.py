@@ -1,0 +1,22 @@
+"""§4.1: commit latency by quorum policy (the FlexiRaft motivation)."""
+
+from repro.experiments.flexi_ablation import run_flexi_ablation
+
+
+def test_flexi_quorum_latency(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_flexi_ablation(writes=30), rounds=1, iterations=1
+    )
+    report_printer(result.format_report())
+    single = result.histograms["flexiraft:single_region_dynamic"].mean()
+    multi = result.histograms["flexiraft:multi_region"].mean()
+    majority = result.histograms["majority"].mean()
+    # Single-region commits avoid the WAN: sub-millisecond-ish.
+    assert single < 0.005
+    # The WAN policies pay at least one cross-region round trip (~30ms one
+    # way in the topology).
+    assert multi > 0.020
+    assert majority > 0.020
+    # And the headline: FlexiRaft's production mode is an order of
+    # magnitude faster than majority quorums on this topology.
+    assert majority / single > 10.0

@@ -1,0 +1,96 @@
+"""Micro-benchmarks for the hot primitives underneath the simulation.
+
+Unlike the figure/table benches (which print paper rows), these measure
+raw throughput of the building blocks with pytest-benchmark's normal
+statistics: useful for catching performance regressions in the codec,
+GTID algebra, log cache, and event loop.
+"""
+
+from repro.mysql.events import (
+    GtidEvent,
+    QueryEvent,
+    RowsEvent,
+    TableMapEvent,
+    Transaction,
+    XidEvent,
+)
+from repro.mysql.gtid import Gtid, GtidSet
+from repro.raft.log_cache import LogCache
+from repro.raft.log_storage import LogEntry
+from repro.raft.types import OpId
+from repro.sim.loop import EventLoop
+
+UUID = "3E11FA47-71CA-11E1-9E33-C80AA9429562"
+
+
+def _sample_txn(i: int = 1) -> Transaction:
+    return Transaction(
+        events=(
+            GtidEvent(UUID, i, OpId(1, i)),
+            QueryEvent("BEGIN"),
+            TableMapEvent(1, "db", "bench"),
+            RowsEvent("write", 1, ((None, {"id": i, "v": "x" * 200}),)),
+            XidEvent(i),
+        )
+    )
+
+
+def test_bench_transaction_encode(benchmark):
+    txn = _sample_txn()
+    encoded = benchmark(txn.encode)
+    assert len(encoded) > 200
+
+
+def test_bench_transaction_decode(benchmark):
+    data = _sample_txn().encode()
+    decoded = benchmark(Transaction.decode, data)
+    assert decoded.opid == OpId(1, 1)
+
+
+def test_bench_gtid_set_add(benchmark):
+    def build():
+        s = GtidSet()
+        for i in range(1, 501):
+            s.add(Gtid(UUID, i))
+        return s
+
+    result = benchmark(build)
+    assert result.count() == 500
+
+
+def test_bench_gtid_set_subtract(benchmark):
+    a = GtidSet.parse(f"{UUID}:1-10000")
+    b = GtidSet.parse(f"{UUID}:5-9000:9500")
+    result = benchmark(a.subtract, b)
+    assert result.count() == 10000 - 8996 - 1
+
+
+def test_bench_log_cache_put_get(benchmark):
+    entries = [LogEntry(OpId(1, i), b"x" * 256) for i in range(1, 513)]
+
+    def churn():
+        cache = LogCache(max_bytes=64 * 1024)
+        for entry in entries:
+            cache.put(entry)
+        hits = sum(1 for i in range(1, 513) if cache.get(i) is not None)
+        return hits
+
+    hits = benchmark(churn)
+    assert hits > 0
+
+
+def test_bench_event_loop_throughput(benchmark):
+    def run_events():
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5000:
+                loop.call_after(0.001, tick)
+
+        loop.call_after(0.0, tick)
+        loop.run_until(10.0)
+        return count[0]
+
+    assert benchmark(run_events) == 5000

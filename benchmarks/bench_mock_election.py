@@ -1,0 +1,14 @@
+"""§4.3: mock-election availability ablation."""
+
+from repro.experiments.mock_election_ablation import run_mock_election_ablation
+
+
+def test_mock_election_ablation(benchmark, report_printer):
+    result = benchmark.pedantic(run_mock_election_ablation, rounds=1, iterations=1)
+    report_printer(result.format_report())
+    # With mock elections the unsafe transfer aborts: no meaningful
+    # client downtime. Without them, an availability window opens.
+    assert not result.with_mock_transfer_ok
+    assert result.with_mock_downtime < 0.5
+    assert result.without_mock_downtime > 1.0
+    assert result.without_mock_downtime > 4 * result.with_mock_downtime

@@ -1,0 +1,26 @@
+"""Table 1: role mapping, derived from a live bootstrapped replicaset."""
+
+from repro.experiments.table1_roles import run_table1
+
+
+def test_table1_roles(benchmark, report_printer):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report_printer(result.format_report())
+    by_role = {}
+    for row in result.rows:
+        by_role.setdefault(row["myraft_role"], []).append(row)
+    # Paper topology: 1 leader, 5 followers, 2 learners, 12 witnesses.
+    assert len(by_role["Leader"]) == 1
+    assert len(by_role["Follower"]) == 5
+    assert len(by_role["Learner"]) == 2
+    assert len(by_role["Witness"]) == 12
+    # Table 1 invariants.
+    leader = by_role["Leader"][0]
+    assert leader["accepts_writes"] == "Yes" and leader["prior_setup_role"] == "Primary"
+    for witness in by_role["Witness"]:
+        assert witness["entity"] == "Logtailer"
+        assert witness["prior_setup_role"] == "Semi-Sync Acker"
+        assert witness["serves_reads"] == "No"
+    for follower in by_role["Follower"]:
+        assert follower["database_role"] == "Failover replica"
+        assert follower["accepts_writes"] == "No"

@@ -1,0 +1,35 @@
+"""Table 2: promotion/failover downtime percentiles, Raft vs semi-sync."""
+
+from repro.experiments.common import PAPER_TABLE2_MS
+from repro.experiments.table2_downtime import run_table2
+
+TRIALS = 10
+
+
+def test_table2_downtime(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_table2(trials=TRIALS), rounds=1, iterations=1
+    )
+    report_printer(result.format_report())
+
+    raft_failover = result.row("raft", "failover")
+    raft_promotion = result.row("raft", "promotion")
+    semisync_failover = result.row("semisync", "failover")
+    semisync_promotion = result.row("semisync", "promotion")
+
+    # Shape targets (DESIGN.md calibration bands).
+    assert 1_000 <= raft_failover["avg"] <= 5_000, raft_failover
+    assert 50 <= raft_promotion["avg"] <= 600, raft_promotion
+    assert 30_000 <= semisync_failover["avg"] <= 120_000, semisync_failover
+    assert 400 <= semisync_promotion["avg"] <= 2_500, semisync_promotion
+    # Headline claims: ≥10x failover, ≥2x promotion improvement (paper:
+    # 24x and 4x).
+    assert result.failover_speedup() >= 10.0
+    assert result.promotion_speedup() >= 2.0
+    # Ordering matches the paper's table: every Raft row beats the
+    # corresponding semi-sync row on every percentile.
+    for column in ("pct99", "pct95", "median", "avg"):
+        assert raft_failover[column] < semisync_failover[column]
+        assert raft_promotion[column] < semisync_promotion[column]
+    # The paper's absolute rows, for the report only.
+    assert PAPER_TABLE2_MS[("raft", "failover")]["avg"] == 2389

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Change-data-capture over MyRaft binlogs (§3's binlog-compatibility story).
+
+The paper kept MySQL's binary log format precisely so downstream
+consumers — backup and CDC — keep working. This example tails the
+primary's binlog with a CDC consumer, survives a failover by switching
+sources, and proves the change stream stayed gap-free, duplicate-free,
+and equal to the database state.
+
+Run:  python examples/cdc_pipeline.py
+"""
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.control.cdc import CdcConsumer
+
+
+def main() -> None:
+    spec = ReplicaSetSpec(
+        "cdc-example",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+    cluster = MyRaftReplicaset(spec, seed=77)
+    cluster.bootstrap()
+
+    consumer = CdcConsumer(cluster, source="region0-db1")
+    consumer.start()
+    print("CDC consumer tailing region0-db1's binlog\n")
+
+    for i in range(5):
+        cluster.write_and_run("orders", {i: {"id": i, "item": f"sku-{i}"}}, seconds=0.3)
+    cluster.write_and_run("orders", {2: {"id": 2, "item": "sku-2-v2"}}, seconds=0.3)
+    cluster.write_and_run("orders", {0: None}, seconds=0.3)
+    cluster.run(1.0)
+    print(f"captured {len(consumer.records)} change records "
+          f"(writes, an update, a delete)")
+
+    print("\ncrashing the tailed primary; consumer switches to the new one...")
+    cluster.crash("region0-db1")
+    new_primary = cluster.wait_for_primary(exclude="region0-db1")
+    consumer.switch_source(new_primary.host.name)
+    print(f"now tailing {new_primary.host.name}")
+
+    for i in range(5, 8):
+        process = new_primary.submit_write("orders", {i: {"id": i, "item": f"sku-{i}"}})
+        cluster.run(0.5)
+        assert process.done() and not process.failed()
+    cluster.run(2.0)
+    consumer.stop()
+
+    print(f"\ntotal records: {len(consumer.records)}, "
+          f"overlap deduplicated: {consumer.duplicates_skipped}")
+    print(f"stream ordered:        {consumer.stream_is_ordered()}")
+    print(f"stream duplicate-free: {consumer.stream_is_duplicate_free()}")
+    replayed = consumer.replay_table("orders")
+    actual = dict(new_primary.mysql.engine.table("orders").rows)
+    print(f"replayed state == database state: {replayed == actual}")
+    print(f"final orders table ({len(actual)} rows): {sorted(actual)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Raft Proxying (§4.2): cross-region bandwidth, star vs tree.
+
+Runs the same write stream over the paper's topology (five remote
+regions, each with a database follower and two logtailers) with proxying
+off and on, and prints the cross-region byte accounting. With proxying,
+the two logtailer payload streams per region collapse into PROXY_OP
+metadata routed through the region's database follower (Figure 4).
+
+Run:  python examples/proxy_topology.py
+"""
+
+from repro.cluster import MyRaftReplicaset, paper_topology
+from repro.workload.profiles import sysbench_timing
+
+
+def measure(proxying: bool) -> tuple[int, int, int]:
+    cluster = MyRaftReplicaset(
+        paper_topology(follower_regions=5, learners=2),
+        seed=5,
+        timing=sysbench_timing(myraft=True),
+        proxying=proxying,
+        trace_capacity=5_000,
+    )
+    cluster.bootstrap()
+    cluster.run(1.0)
+    cluster.net.reset_accounting()
+    payload = "x" * 280  # encoded transaction ≈ the paper's 500B entries
+    for i in range(50):
+        cluster.write("telemetry", {i: {"id": i, "v": payload}})
+        cluster.run(0.05)
+    cluster.run(3.0)
+    forwards = sum(s.node.metrics["proxy_forwards"] for s in cluster.database_services())
+    degrades = sum(s.node.metrics["proxy_degrades"] for s in cluster.database_services())
+    return cluster.net.cross_region_bytes(), forwards, degrades
+
+
+def main() -> None:
+    star_bytes, _, _ = measure(proxying=False)
+    tree_bytes, forwards, degrades = measure(proxying=True)
+    print("cross-region bytes for the same 50-transaction stream:")
+    print(f"  vanilla Raft (star):  {star_bytes:>10,}")
+    print(f"  with proxying (tree): {tree_bytes:>10,}")
+    print(f"  savings: {(1 - tree_bytes / star_bytes) * 100:.1f}%")
+    print(f"  proxy forwards: {forwards}, degrades-to-heartbeat: {degrades}")
+    print("\npaper's claim: PROXY_OP costs 2-5% of a vanilla connection at ~500B/entry;")
+    print("votes are never proxied, and the leader keeps all replication bookkeeping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Reproduction of "MyRaft: High Availability in MySQL using Raft"
+(Rahut et al., Meta Platforms, EDBT 2024).
+
+Public entry points:
+
+- :class:`repro.cluster.MyRaftReplicaset` — a simulated MyRaft replicaset
+  (MySQL + mysql_raft_repl plugin + Raft, logtailers, FlexiRaft quorums);
+- :class:`repro.semisync.SemiSyncReplicaset` — the prior-setup baseline
+  (semi-sync replication + external failover automation);
+- :mod:`repro.experiments` — harnesses regenerating every table and
+  figure of the paper's evaluation;
+- :mod:`repro.control` — enable-raft, Quorum Fixer, shadow testing, CDC.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Replicaset topology and runtime assembly."""
+
+from repro.cluster.replicaset import MyRaftReplicaset
+from repro.cluster.topology import RegionSpec, ReplicaSetSpec, paper_topology, table1_roles
+
+__all__ = [
+    "MyRaftReplicaset",
+    "RegionSpec",
+    "ReplicaSetSpec",
+    "paper_topology",
+    "table1_roles",
+]

@@ -1,0 +1,233 @@
+"""A running MyRaft replicaset on the simulator.
+
+Bundles the event loop, network, discovery, and one service per member
+(database servers and logtailers), with operator-style helpers: write,
+promote, crash, restart, consistency checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.control.discovery import ServiceDiscovery
+from repro.errors import ReproError
+from repro.flexiraft import FlexiMode, FlexiRaftPolicy
+from repro.mysql.server import ServerRole
+from repro.mysql.timing import TimingProfile, myraft_profile
+from repro.plugin.logtailer import LogtailerService
+from repro.plugin.raft_plugin import MyRaftServer
+from repro.raft.config import RaftConfig
+from repro.raft.proxy import RegionProxyRouter
+from repro.raft.quorum import QuorumPolicy
+from repro.cluster.topology import ReplicaSetSpec
+from repro.sim.host import Host
+from repro.sim.loop import EventLoop
+from repro.sim.network import LogNormalLatency, Network, NetworkSpec
+from repro.sim.rng import RngStream
+from repro.sim.tracing import Tracer
+
+
+def paper_network_spec() -> NetworkSpec:
+    """Default latency topology: ~75µs in-region, ~30ms cross-region."""
+    return NetworkSpec(
+        in_region=LogNormalLatency(75e-6, 0.3, floor=20e-6),
+        cross_region=LogNormalLatency(30e-3, 0.15, floor=5e-3),
+    )
+
+
+class MyRaftReplicaset:
+    """One simulated MyRaft replicaset, fully wired."""
+
+    def __init__(
+        self,
+        spec: ReplicaSetSpec,
+        seed: int = 1,
+        raft_config: RaftConfig | None = None,
+        policy: QuorumPolicy | None = None,
+        network_spec: NetworkSpec | None = None,
+        timing: TimingProfile | None = None,
+        proxying: bool = False,
+        trace_capacity: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.loop = EventLoop()
+        self.rng = RngStream(seed)
+        self.tracer = Tracer(self.loop, capacity=trace_capacity)
+        self.net = Network(
+            self.loop, self.rng, spec=network_spec or paper_network_spec(), tracer=self.tracer
+        )
+        self.discovery = ServiceDiscovery(self.loop)
+        self.membership = spec.membership()
+        self.raft_config = raft_config or RaftConfig(enable_proxying=proxying)
+        if proxying and not self.raft_config.enable_proxying:
+            raise ReproError("proxying=True requires raft_config.enable_proxying")
+        self.policy = policy or FlexiRaftPolicy(FlexiMode.SINGLE_REGION_DYNAMIC)
+        self.timing = timing or myraft_profile()
+        router = RegionProxyRouter() if self.raft_config.enable_proxying else None
+
+        self.hosts: dict[str, Host] = {}
+        self.services: dict[str, Any] = {}
+        for member in self.membership.members:
+            host = Host(self.loop, self.net, member.name, member.region, tracer=self.tracer)
+            if member.has_storage_engine:
+                service: Any = MyRaftServer(
+                    host=host,
+                    membership=self.membership,
+                    policy=self.policy,
+                    raft_config=self.raft_config,
+                    timing=self.timing,
+                    rng=self.rng,
+                    router=router,
+                    discovery=self.discovery,
+                    replicaset=spec.replicaset_id,
+                )
+            else:
+                service = LogtailerService(
+                    host=host,
+                    membership=self.membership,
+                    policy=self.policy,
+                    raft_config=self.raft_config,
+                    timing=self.timing,
+                    rng=self.rng,
+                    router=router,
+                )
+            host.attach_service(service)
+            self.hosts[member.name] = host
+            self.services[member.name] = service
+
+    # -- access ------------------------------------------------------------------
+
+    def server(self, name: str) -> MyRaftServer:
+        service = self.services[name]
+        if not isinstance(service, MyRaftServer):
+            raise ReproError(f"{name!r} is a logtailer, not a database")
+        return service
+
+    def logtailer(self, name: str) -> LogtailerService:
+        service = self.services[name]
+        if not isinstance(service, LogtailerService):
+            raise ReproError(f"{name!r} is not a logtailer")
+        return service
+
+    def database_services(self) -> list[MyRaftServer]:
+        return [s for s in self.services.values() if isinstance(s, MyRaftServer)]
+
+    def primary_service(self) -> MyRaftServer | None:
+        candidates = [
+            s
+            for s in self.database_services()
+            if self.hosts[s.host.name].alive
+            and s.node.is_leader
+            and s.mysql.role == ServerRole.PRIMARY
+            and not s.mysql.read_only
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.node.current_term)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def bootstrap(self, timeout: float = 10.0) -> MyRaftServer:
+        """Elect the spec's initial primary and wait until it accepts
+        writes (promotion orchestration complete)."""
+        primary_name = self.spec.initial_primary()
+        self.server(primary_name).node.bootstrap_as_initial_leader()
+        return self.wait_for_primary(timeout=timeout)
+
+    def wait_for_primary(
+        self, timeout: float = 30.0, step: float = 0.05, exclude: str | None = None
+    ) -> MyRaftServer:
+        """Run until a writable primary exists; ``exclude`` skips a stale
+        primary that cannot yet know it lost leadership (e.g. isolated)."""
+        deadline = self.loop.now + timeout
+        while self.loop.now < deadline:
+            self.run(step)
+            primary = self.primary_service()
+            if primary is not None and primary.host.name != exclude:
+                return primary
+        raise ReproError(f"no writable primary within {timeout}s")
+
+    def run(self, seconds: float) -> None:
+        self.loop.run_for(seconds, max_events=50_000_000)
+
+    def crash(self, name: str) -> None:
+        self.hosts[name].crash()
+
+    def restart(self, name: str) -> None:
+        self.hosts[name].restart()
+
+    # -- operations -------------------------------------------------------------------
+
+    def write(self, table: str, rows: dict):
+        primary = self.primary_service()
+        if primary is None:
+            raise ReproError("no writable primary")
+        return primary.submit_write(table, rows)
+
+    def write_and_run(self, table: str, rows: dict, seconds: float = 1.0):
+        process = self.write(table, rows)
+        self.run(seconds)
+        return process
+
+    def transfer_leadership(self, target: str):
+        primary = self.primary_service()
+        if primary is None:
+            raise ReproError("no primary to transfer from")
+        return primary.node.transfer_leadership(target)
+
+    # -- §5.1-style consistency checks ---------------------------------------------------
+
+    def engine_checksums(self) -> dict[str, int]:
+        return {
+            s.host.name: s.mysql.checksum()
+            for s in self.database_services()
+            if self.hosts[s.host.name].alive
+        }
+
+    def databases_converged(self) -> bool:
+        """True when every live database has identical engine content and
+        identical executed GTID sets."""
+        live = [
+            s for s in self.database_services() if self.hosts[s.host.name].alive
+        ]
+        if len(live) < 2:
+            return True
+        reference = live[0]
+        return all(
+            s.mysql.checksum() == reference.mysql.checksum()
+            and s.mysql.engine.executed_gtids == reference.mysql.engine.executed_gtids
+            for s in live[1:]
+        )
+
+    def logs_prefix_equal(self) -> bool:
+        """The log-equality invariant: all live members agree byte-for-byte
+        on the replicated entries they share, aligned by Raft index.
+
+        Members restored from backup hold only a suffix (their log starts
+        at the snapshot base), so comparison covers the intersection of
+        index ranges rather than assuming everyone starts at 1.
+        """
+        storages = []
+        for name, service in self.services.items():
+            if not self.hosts[name].alive:
+                continue
+            storage = getattr(service, "storage", None)
+            if storage is not None and storage.last_opid().index > 0:
+                storages.append(storage)
+        if len(storages) < 2:
+            return True
+        start = max(s.first_index() for s in storages)
+        end = min(s.last_opid().index for s in storages)
+        reference = storages[0]
+        for other in storages[1:]:
+            for index in range(start, end + 1):
+                a = reference.entry(index)
+                b = other.entry(index)
+                if a is None or b is None:
+                    return False
+                if a.opid != b.opid or a.payload != b.payload:
+                    return False
+        return True
+
+    def status(self) -> dict[str, Any]:
+        return {name: service.status() for name, service in self.services.items()}

@@ -1,0 +1,5 @@
+"""Control plane: service discovery, automation, rollout, remediation."""
+
+from repro.control.discovery import ServiceDiscovery
+
+__all__ = ["ServiceDiscovery"]

@@ -1,0 +1,140 @@
+"""Backup and restore over MyRaft binlogs (§3).
+
+The paper preserved the binary-log format partly because the backup and
+restore service depends on it. This module plays that role:
+
+- :func:`take_backup` snapshots a member's engine tables together with
+  its executed-GTID set and last-applied OpId — a consistent
+  point-in-time image (what a transactional dump produces);
+- :func:`restore_member` seeds a (wiped or fresh) member from a backup:
+  the engine is loaded from the snapshot, GTID/OpId metadata restored,
+  and the applier cursor positioned right after the backup point, so the
+  member catches the rest up from the replicated log instead of
+  replaying all of history.
+
+This is the realistic bootstrap path for member replacement: automation
+restores from last night's backup, Raft ships only the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ControlPlaneError
+from repro.mysql.gtid import GtidSet
+from repro.mysql.tables import Table
+from repro.plugin.raft_plugin import MyRaftServer
+from repro.raft.types import OpId
+
+
+@dataclass(frozen=True)
+class Backup:
+    """A consistent point-in-time image of one member's database."""
+
+    source: str
+    taken_at: float
+    last_opid: OpId
+    executed_gtids: str  # canonical text form
+    tables: dict = field(default_factory=dict)  # name -> {pk: row}
+
+    def row_count(self) -> int:
+        return sum(len(rows) for rows in self.tables.values())
+
+
+def take_backup(cluster, member: str) -> Backup:
+    """Snapshot ``member``'s engine state (consistent read at its current
+    last-committed transaction)."""
+    service = cluster.services.get(member)
+    if not isinstance(service, MyRaftServer):
+        raise ControlPlaneError(f"{member!r} is not a database member")
+    if not cluster.hosts[member].alive:
+        raise ControlPlaneError(f"{member!r} is down")
+    engine = service.mysql.engine
+    tables = {
+        name: {pk: dict(row) for pk, row in engine.table(name).rows.items()}
+        for name in engine.table_names()
+    }
+    return Backup(
+        source=member,
+        taken_at=cluster.loop.now,
+        last_opid=engine.last_committed_opid,
+        executed_gtids=str(engine.executed_gtids),
+        tables=tables,
+    )
+
+
+def restore_member(cluster, member: str, backup: Backup) -> MyRaftServer:
+    """Re-seed ``member`` from ``backup`` and rejoin the ring.
+
+    The host's disk is wiped (this is a replacement, not a repair), the
+    snapshot is loaded as committed engine state, and a fresh MyRaft
+    service starts whose applier resumes from the backup's OpId. Raft
+    then ships only the suffix — the leader does NOT need log history
+    below the backup point for this member.
+    """
+    host = cluster.hosts.get(member)
+    if host is None:
+        raise ControlPlaneError(f"unknown member {member!r}")
+    if host.alive:
+        host.crash()
+    host.disk.wipe()
+
+    # Seed the durable engine namespaces before the service constructs
+    # its MySQLServer over them.
+    tables_ns = host.disk.namespace("engine.tables")
+    for name, rows in backup.tables.items():
+        tables_ns[name] = Table(name, {pk: dict(row) for pk, row in rows.items()})
+    meta_ns = host.disk.namespace("engine.meta")
+    meta_ns["executed_gtids"] = GtidSet.parse(backup.executed_gtids)
+    meta_ns["last_committed_opid"] = backup.last_opid
+    meta_ns["prepared_xids"] = set()
+
+    # The Raft log starts logically right after the backup point: the
+    # leader ships only entries *after* it (it does not need — and may
+    # have purged — anything older). Seed the term floor too.
+    host.disk.namespace("mysqllog")  # created fresh by the new manager
+    durable = host.disk.namespace("raft")
+    durable["current_term"] = backup.last_opid.term
+
+    # Fresh service over the seeded disk (host must be up so the service
+    # can arm timers and start its applier).
+    host.resurrect()
+    router = None
+    if cluster.raft_config.enable_proxying:
+        from repro.raft.proxy import RegionProxyRouter
+
+        router = RegionProxyRouter()
+    service = MyRaftServer(
+        host=host,
+        membership=cluster.membership,
+        policy=cluster.policy,
+        raft_config=cluster.raft_config,
+        timing=cluster.timing,
+        rng=cluster.rng,
+        router=router,
+        discovery=cluster.discovery,
+        replicaset=cluster.spec.replicaset_id,
+    )
+    service.storage.seed_base(backup.last_opid)
+    host.replace_service(service)
+    cluster.services[member] = service
+    return service
+
+
+@dataclass
+class BackupVault:
+    """A tiny scheduled-backup registry (most-recent-wins per source)."""
+
+    cluster: Any
+    backups: list = field(default_factory=list)
+
+    def take(self, member: str) -> Backup:
+        backup = take_backup(self.cluster, member)
+        self.backups.append(backup)
+        return backup
+
+    def latest(self) -> Backup:
+        if not self.backups:
+            raise ControlPlaneError("vault is empty")
+        return max(self.backups, key=lambda b: b.taken_at)

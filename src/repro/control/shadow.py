@@ -1,0 +1,144 @@
+"""MyShadow-style shadow testing (§5.1).
+
+Two test modes over a production-representative workload:
+
+- **failure injection**: repeatedly crash the current leader (and other
+  members) while writes flow;
+- **functional**: repeatedly ask the leader to gracefully transfer
+  leadership and run membership changes.
+
+Throughout, the §5.1 correctness checks run: engine checksum comparison
+between leader and followers, replicated-log equality, GTID-set
+agreement — plus client-side downtime measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ControlPlaneError
+from repro.workload.faults import RandomFaultInjector
+from repro.workload.generators import WorkloadSpec
+from repro.workload.runner import AvailabilityProbe, WorkloadRunner
+
+
+@dataclass
+class ShadowReport:
+    mode: str
+    duration: float
+    committed: int = 0
+    client_errors: int = 0
+    faults_injected: int = 0
+    operations: int = 0
+    downtime_windows: list = field(default_factory=list)
+    databases_converged: bool = False
+    logs_prefix_equal: bool = False
+    checks_passed: bool = False
+
+    def total_downtime(self) -> float:
+        return sum(w.duration for w in self.downtime_windows)
+
+
+class ShadowTestHarness:
+    """Runs shadow tests against a MyRaft replicaset."""
+
+    def __init__(self, cluster, workload: WorkloadSpec, seed_label: str = "shadow") -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.rng = cluster.rng.child(seed_label)
+
+    # -- §5.1 checks -----------------------------------------------------------
+
+    def _settle_and_check(self, report: ShadowReport, settle: float = 20.0) -> None:
+        """Heal everything, let replication drain, then run the §5.1
+        correctness checks."""
+        self.cluster.net.heal_all()
+        for name, host in self.cluster.hosts.items():
+            if not host.alive:
+                host.restart()
+        self.cluster.run(settle)
+        report.databases_converged = self.cluster.databases_converged()
+        report.logs_prefix_equal = self.cluster.logs_prefix_equal()
+        report.checks_passed = report.databases_converged and report.logs_prefix_equal
+
+    # -- failure-injection testing ------------------------------------------------
+
+    def run_failure_injection(
+        self,
+        duration: float = 120.0,
+        mean_crash_interval: float = 25.0,
+        crash_downtime: float = 6.0,
+    ) -> ShadowReport:
+        report = ShadowReport(mode="failure-injection", duration=duration)
+        runner = WorkloadRunner(self.cluster, self.workload)
+        probe = AvailabilityProbe(self.cluster, interval=0.05)
+        injector = RandomFaultInjector(
+            cluster=self.cluster,
+            rng=self.rng.child("faults"),
+            mean_interval=mean_crash_interval,
+            downtime=crash_downtime,
+            crash_leader_bias=0.6,
+        )
+        probe.start(duration)
+        injector.start(duration)
+        result = runner.run(duration)
+        report.committed = result.committed
+        report.client_errors = result.errors
+        report.faults_injected = injector.injected
+        report.downtime_windows = probe.downtime_windows(threshold=0.5)
+        self._settle_and_check(report)
+        return report
+
+    # -- functional testing --------------------------------------------------------
+
+    def run_functional(
+        self,
+        rounds: int = 6,
+        inter_op_delay: float = 5.0,
+    ) -> ShadowReport:
+        """Alternate graceful transfers between database members while the
+        workload runs; count every successful role change."""
+        report = ShadowReport(mode="functional", duration=rounds * inter_op_delay)
+        duration = rounds * inter_op_delay + 10.0
+        runner = WorkloadRunner(self.cluster, self.workload)
+        probe = AvailabilityProbe(self.cluster, interval=0.05)
+        probe.start(duration)
+
+        from repro.sim.coro import spawn
+
+        operations = {"count": 0}
+
+        def functional_driver():
+            databases = [s.host.name for s in self.cluster.database_services()]
+            for round_index in range(rounds):
+                yield inter_op_delay
+                primary = self.cluster.primary_service()
+                if primary is None:
+                    continue
+                targets = [
+                    n for n in databases
+                    if n != primary.host.name
+                    and self.cluster.membership.member(n).is_voter
+                    and self.cluster.hosts[n].alive
+                ]
+                if not targets:
+                    continue
+                target = targets[round_index % len(targets)]
+                transfer = primary.node.transfer_leadership(target)
+                try:
+                    ok = yield transfer
+                except Exception:  # noqa: BLE001
+                    ok = False
+                if ok:
+                    operations["count"] += 1
+
+        spawn(self.cluster.loop, functional_driver(), label="shadow:functional")
+        result = runner.run(duration)
+        report.committed = result.committed
+        report.client_errors = result.errors
+        report.operations = operations["count"]
+        report.downtime_windows = probe.downtime_windows(threshold=0.5)
+        self._settle_and_check(report)
+        if report.operations == 0:
+            raise ControlPlaneError("functional shadow test performed no operations")
+        return report

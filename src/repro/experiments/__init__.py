@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure (§6) plus
+ablations for the design choices in §4 and §5.
+
+Use :mod:`repro.experiments.registry` to run experiments by id
+(``fig5a``, ``table2``, ``proxy-bw``, ...). Every experiment returns a
+structured result object with a ``format_report()`` → str method whose
+rows mirror what the paper prints.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,81 @@
+"""The §6.1 A/B methodology: identical topology, network, and workload;
+MyRaft on one side, the prior semi-sync setup on the other."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import MyRaftReplicaset, paper_topology
+from repro.semisync import SemiSyncReplicaset
+from repro.workload import (
+    WorkloadRunner,
+    production_timing,
+    production_workload,
+    sysbench_timing,
+    sysbench_workload,
+)
+from repro.workload.runner import WorkloadResult
+
+
+@dataclass
+class ABResult:
+    """Both sides of one A/B run."""
+
+    workload: str
+    myraft: WorkloadResult
+    semisync: WorkloadResult
+
+    def latency_delta_percent(self) -> float:
+        """MyRaft's mean commit latency relative to semi-sync (positive =
+        MyRaft slower; the paper reports +0.8% / +1.9%)."""
+        return (self.myraft.latency.mean() / self.semisync.latency.mean() - 1.0) * 100.0
+
+    def throughput_delta_percent(self) -> float:
+        return (self.myraft.throughput.mean_rate() / self.semisync.throughput.mean_rate()
+                - 1.0) * 100.0
+
+
+def _workload_for(kind: str, scale: float):
+    if kind == "production":
+        spec = production_workload()
+        timing = production_timing
+    elif kind == "sysbench":
+        spec = sysbench_workload()
+        timing = sysbench_timing
+    else:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    return spec, timing
+
+
+def run_ab_comparison(
+    kind: str,
+    seed: int = 1,
+    duration: float = 20.0,
+    warmup: float = 2.0,
+    follower_regions: int = 5,
+    learners: int = 2,
+    throughput_bucket: float = 1.0,
+) -> ABResult:
+    """Run the same workload against MyRaft and the prior setup on the
+    paper's topology (§6.1): primary + 2 in-region logtailers, five
+    follower regions with 2 logtailers each, two learners."""
+    spec, timing_for = _workload_for(kind, duration)
+    topology = paper_topology(follower_regions=follower_regions, learners=learners)
+
+    myraft_cluster = MyRaftReplicaset(
+        topology, seed=seed, timing=timing_for(myraft=True), trace_capacity=20_000
+    )
+    myraft_cluster.bootstrap()
+    myraft_result = WorkloadRunner(
+        myraft_cluster, spec, throughput_bucket=throughput_bucket
+    ).run(duration, warmup=warmup)
+
+    semisync_cluster = SemiSyncReplicaset(
+        topology, seed=seed, timing=timing_for(myraft=False), trace_capacity=20_000
+    )
+    semisync_cluster.bootstrap()
+    semisync_result = WorkloadRunner(
+        semisync_cluster, spec, throughput_bucket=throughput_bucket
+    ).run(duration, warmup=warmup)
+
+    return ABResult(workload=kind, myraft=myraft_result, semisync=semisync_result)

@@ -1,0 +1,15 @@
+"""FlexiRaft: flexible commit quorums for Raft (§4.1).
+
+Quorums are defined over disjoint member *groups* built from physical
+proximity (geographic regions). The headline mode — *single region
+dynamic* — commits with a majority inside the leader's region only
+(leader + one of its two in-region logtailers), shifting the data quorum
+to each new leader's region; election quorums are kept intersecting via
+last-known-leader tracking.
+"""
+
+from repro.flexiraft.groups import region_groups
+from repro.flexiraft.policy import FlexiMode, FlexiRaftPolicy
+from repro.flexiraft.watermarks import region_quorum_watermark
+
+__all__ = ["FlexiMode", "FlexiRaftPolicy", "region_groups", "region_quorum_watermark"]

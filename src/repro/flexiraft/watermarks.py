@@ -1,0 +1,58 @@
+"""Per-region replication watermarks (§4.1, §A.1).
+
+The leader tracks which log index each member has acknowledged; the
+*region watermark* is the highest index held by an in-region majority of
+voters. Single-region-dynamic commits exactly when the leader-region
+watermark reaches the entry; purge heuristics refuse to drop files whose
+entries haven't crossed every region's watermark ("shipped out of
+region").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.raft.membership import MembershipConfig
+from repro.raft.quorum import majority_count
+
+
+def region_quorum_watermark(
+    region: str,
+    config: MembershipConfig,
+    match_of: Callable[[str], int] | Mapping[str, int],
+) -> int:
+    """Highest index acked by a majority of ``region``'s voters.
+
+    ``match_of`` maps member name → highest acknowledged index (the
+    leader's match index; the leader itself counts at its log end).
+    Returns a very large value for regions with no voters (nothing to
+    wait for).
+    """
+    lookup = match_of.__getitem__ if isinstance(match_of, Mapping) else match_of
+    voters = config.voters_in_region(region)
+    if not voters:
+        return 2**62
+    matches = sorted((lookup(m.name) for m in voters), reverse=True)
+    return matches[majority_count(len(matches)) - 1]
+
+
+def all_region_watermarks(
+    config: MembershipConfig,
+    match_of: Callable[[str], int] | Mapping[str, int],
+) -> dict[str, int]:
+    """Watermark per region that has voters."""
+    return {
+        region: region_quorum_watermark(region, config, match_of)
+        for region in config.regions()
+        if config.voters_in_region(region)
+    }
+
+
+def safe_purge_horizon(
+    config: MembershipConfig,
+    match_of: Callable[[str], int] | Mapping[str, int],
+) -> int:
+    """Highest index at/below which every region's quorum has the data —
+    the leader may purge log files entirely below this (§A.1)."""
+    watermarks = all_region_watermarks(config, match_of)
+    return min(watermarks.values()) if watermarks else 0

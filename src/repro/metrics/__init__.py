@@ -1,0 +1,13 @@
+"""Measurement primitives: latency histograms, throughput series, counters."""
+
+from repro.metrics.histogram import LatencyHistogram, log_spaced_bins
+from repro.metrics.series import ThroughputSeries
+from repro.metrics.stats import LatencySummary, summarize
+
+__all__ = [
+    "LatencyHistogram",
+    "LatencySummary",
+    "ThroughputSeries",
+    "log_spaced_bins",
+    "summarize",
+]

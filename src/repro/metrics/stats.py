@@ -1,0 +1,52 @@
+"""Summary statistics in the shape the paper reports (Table 2 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.histogram import LatencyHistogram
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """avg / median / p95 / p99, the columns of the paper's Table 2."""
+
+    count: int
+    avg: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Unit conversion (e.g. seconds → milliseconds)."""
+        return LatencySummary(
+            count=self.count,
+            avg=self.avg * factor,
+            median=self.median * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "pct99": self.p99,
+            "pct95": self.p95,
+            "median": self.median,
+            "avg": self.avg,
+        }
+
+
+def summarize(histogram: LatencyHistogram) -> LatencySummary:
+    return LatencySummary(
+        count=histogram.count,
+        avg=histogram.mean(),
+        median=histogram.percentile(50),
+        p95=histogram.percentile(95),
+        p99=histogram.percentile(99),
+        minimum=histogram.min(),
+        maximum=histogram.max(),
+    )

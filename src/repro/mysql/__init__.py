@@ -1,0 +1,19 @@
+"""Simulated MySQL substrate.
+
+This package models the parts of MySQL that MyRaft integrates with:
+
+- GTIDs and GTID sets (:mod:`~repro.mysql.gtid`);
+- the binary-log event model and binary framing (:mod:`~repro.mysql.events`,
+  :mod:`~repro.mysql.binlog`);
+- binlog/relay-log personas, rotation and purging
+  (:mod:`~repro.mysql.log_manager`);
+- a two-phase (prepare/commit) storage engine with crash recovery
+  (:mod:`~repro.mysql.engine`);
+- the three-stage group-commit pipeline (:mod:`~repro.mysql.pipeline`);
+- applier threads (:mod:`~repro.mysql.applier`) and the server itself
+  (:mod:`~repro.mysql.server`).
+"""
+
+from repro.mysql.gtid import Gtid, GtidSet
+
+__all__ = ["Gtid", "GtidSet"]

@@ -1,0 +1,190 @@
+"""The applier thread (§3.5).
+
+On a replica, the Raft plugin writes incoming transactions to the
+relay-log and signals the applier. The applier reads each transaction (a
+binary log payload of RBR events), executes it against the engine
+(begin → writes → prepare), and pushes it into the same three-stage
+commit pipeline the primary uses; stage 2 waits until the leader's commit
+marker covers the transaction, stage 3 commits to the engine.
+
+The applier is also the workhorse of promotion step 2: ``catch_up_to``
+resolves once everything up to the no-op entry is committed in the
+engine (§3.3).
+
+Cursor positioning follows the paper's online recovery protocol: the
+starting point is derived from the last transaction committed in the
+engine (§3.3 step 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import MySQLError
+from repro.mysql.engine import StorageEngine
+from repro.mysql.events import GtidEvent, QueryEvent, RowsEvent, TableMapEvent, Transaction, XidEvent
+from repro.mysql.gtid import Gtid
+from repro.mysql.pipeline import CommitPipeline, PipelineTxn
+from repro.mysql.timing import TimingProfile
+from repro.sim.coro import SimFuture
+from repro.sim.host import Host
+from repro.sim.rng import RngStream
+
+# entry_source(index) -> (Transaction, kind) | None when not yet available
+EntrySource = Callable[[int], "tuple[Transaction, str] | None"]
+
+
+class Applier:
+    """Replica-side apply loop over the relay log."""
+
+    def __init__(
+        self,
+        host: Host,
+        engine: StorageEngine,
+        entry_source: EntrySource,
+        pipeline: CommitPipeline,
+        timing: TimingProfile,
+        rng: RngStream,
+    ) -> None:
+        self.host = host
+        self.engine = engine
+        self._entry_source = entry_source
+        self.pipeline = pipeline
+        self.timing = timing
+        self.rng = rng.child("applier")
+        self.cursor = 1  # next raft index to apply
+        self.running = False
+        self._wakeup: SimFuture | None = None
+        self._process = None
+        self._catchup_waiters: list[tuple[int, SimFuture]] = []
+        self.applied = 0
+        self.skipped_duplicates = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, cursor: int) -> None:
+        """Start applying from raft index ``cursor`` (§3.3 step 5)."""
+        if self.running:
+            raise MySQLError("applier already running")
+        self.cursor = cursor
+        self.running = True
+        self._process = self.host.spawn(self._run(), label=f"{self.host.name}:applier")
+
+    def stop(self) -> None:
+        self.running = False
+        if self._wakeup is not None:
+            self._wakeup.resolve_if_pending(None)
+            self._wakeup = None
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def signal(self) -> None:
+        """New relay-log entries are available (called by the plugin)."""
+        if self._wakeup is not None:
+            self._wakeup.resolve_if_pending(None)
+            self._wakeup = None
+
+    # -- promotion support (§3.3 step 2) ----------------------------------------
+
+    def catch_up_to(self, index: int) -> SimFuture:
+        """Resolves once every data transaction at/below ``index`` has been
+        engine-committed and the cursor has passed ``index``."""
+        future = SimFuture(self.host.loop, label=f"catchup:{index}")
+        self._catchup_waiters.append((index, future))
+        self._check_catchup()
+        return future
+
+    def _check_catchup(self) -> None:
+        if not self._catchup_waiters:
+            return
+        drained = self.pipeline.depth == 0
+        remaining = []
+        for index, future in self._catchup_waiters:
+            if self.cursor > index and drained:
+                future.resolve_if_pending(None)
+            else:
+                remaining.append((index, future))
+        self._catchup_waiters = remaining
+
+    # -- the loop ------------------------------------------------------------------
+
+    def _run(self):
+        while self.running:
+            item = self._entry_source(self.cursor)
+            if item is None:
+                self._check_catchup()
+                self._wakeup = SimFuture(self.host.loop, label="applier.wakeup")
+                yield self._wakeup
+                continue
+            txn, kind = item
+            self.cursor += 1
+            if kind != "data":
+                # no-op / config / rotate: nothing to execute in the engine.
+                self._check_catchup()
+                continue
+            pipeline_txn = yield from self._execute(txn)
+            if pipeline_txn is not None:
+                done = self.pipeline.submit(pipeline_txn)
+                done.add_done_callback(lambda _f: self._check_catchup())
+            self._check_catchup()
+
+    def _execute(self, txn: Transaction):
+        """Apply one transaction's events against the engine (RBR apply:
+        the before/after images make this efficient, §3.5)."""
+        gtid_event = txn.gtid_event
+        if gtid_event is None:
+            raise MySQLError("applier asked to execute a non-data transaction")
+        gtid = Gtid(gtid_event.source_uuid, gtid_event.txn_id)
+        if gtid in self.engine.executed_gtids:
+            # Re-delivered after recovery (A.2 case 3): already committed.
+            self.skipped_duplicates += 1
+            return None
+        engine_txn = self.engine.begin(self._applier_xid(gtid_event))
+        engine_txn.gtid = gtid
+        engine_txn.opid = gtid_event.opid
+        table_names: dict[int, str] = {}
+        for event in txn.events[1:]:
+            yield self.timing.applier_event(self.rng)
+            if isinstance(event, QueryEvent):
+                continue  # BEGIN
+            if isinstance(event, TableMapEvent):
+                table_names[event.table_id] = event.table
+                continue
+            if isinstance(event, RowsEvent):
+                self._apply_rows(engine_txn, table_names, event)
+                continue
+            if isinstance(event, XidEvent):
+                break
+        self.engine.prepare(engine_txn)
+        self.applied += 1
+        return PipelineTxn(
+            payload=txn,
+            engine_txn=engine_txn,
+            done=SimFuture(self.host.loop, label=f"apply:{gtid}"),
+            opid=gtid_event.opid,
+        )
+
+    def _apply_rows(self, engine_txn, table_names: dict[int, str], event: RowsEvent) -> None:
+        table = table_names.get(event.table_id)
+        if table is None:
+            raise MySQLError(f"rows event for unmapped table id {event.table_id}")
+        for before, after in event.rows:
+            pk = self._primary_key(before, after)
+            if after is None:
+                self.engine.delete_row(engine_txn, table, pk)
+            else:
+                self.engine.write_row(engine_txn, table, pk, dict(after))
+
+    @staticmethod
+    def _primary_key(before, after):
+        image = after if after is not None else before
+        try:
+            return image["id"]
+        except (KeyError, TypeError):
+            raise MySQLError(f"row image without primary key: {image!r}") from None
+
+    @staticmethod
+    def _applier_xid(gtid_event: GtidEvent) -> int:
+        # Deterministic, collision-free with client xids (which are small).
+        return (hash((gtid_event.source_uuid, gtid_event.txn_id)) & 0x7FFFFFFF) + (1 << 40)

@@ -1,0 +1,194 @@
+"""Binary log files and the log index.
+
+A :class:`BinlogFile` is an append-only byte buffer framed as binlog
+events: two header events (FormatDescription, PreviousGtids) followed by
+replicated transactions. The same class backs both personas — MySQL
+*binlogs* on a primary and *relay-logs* on a replica (§3.2); only the
+file-name prefix differs.
+
+An :class:`LogIndex` mirrors MySQL's ``.index`` file: the ordered list of
+live log files, updated on rotation and purge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BinlogError
+from repro.mysql.events import (
+    BinlogEvent,
+    FormatDescriptionEvent,
+    PreviousGtidsEvent,
+    Transaction,
+    decode_stream,
+    group_into_transactions,
+)
+
+BINLOG_PREFIX = "binary-logs"
+RELAY_PREFIX = "relay-logs"
+
+
+def format_file_name(prefix: str, sequence: int) -> str:
+    if sequence < 1:
+        raise BinlogError(f"file sequence starts at 1, got {sequence}")
+    return f"{prefix}-{sequence:06d}"
+
+
+def parse_file_sequence(name: str) -> int:
+    prefix, _, sequence = name.rpartition("-")
+    if not prefix or not sequence.isdigit():
+        raise BinlogError(f"malformed log file name {name!r}")
+    return int(sequence)
+
+
+@dataclass
+class TransactionLocation:
+    """Where a transaction lives: (file name, byte offset, byte length)."""
+
+    file_name: str
+    offset: int
+    length: int
+
+
+class BinlogFile:
+    """One append-only log file.
+
+    The byte buffer is authoritative; transaction offsets are tracked at
+    append time and can be rebuilt by re-parsing the bytes (which is what
+    crash recovery does — see :meth:`transactions`).
+    """
+
+    def __init__(self, name: str, previous_gtids: str = "") -> None:
+        self.name = name
+        self._buffer = bytearray()
+        self._txn_offsets: list[tuple[int, int]] = []  # (offset, length)
+        self._length_at: dict[int, int] = {}  # offset -> length (O(1) reads)
+        header = FormatDescriptionEvent().encode() + PreviousGtidsEvent(previous_gtids).encode()
+        self._buffer.extend(header)
+        self._header_size = len(header)
+        self.closed = False
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def transaction_count(self) -> int:
+        return len(self._txn_offsets)
+
+    def append_transaction(self, txn: Transaction) -> TransactionLocation:
+        return self.append_encoded(txn.encode())
+
+    def append_encoded(self, data: bytes) -> TransactionLocation:
+        """Append pre-encoded transaction bytes (replication fast path)."""
+        if self.closed:
+            raise BinlogError(f"log file {self.name!r} is closed")
+        offset = len(self._buffer)
+        self._buffer.extend(data)
+        self._txn_offsets.append((offset, len(data)))
+        self._length_at[offset] = len(data)
+        return TransactionLocation(self.name, offset, len(data))
+
+    def read_bytes_at(self, offset: int) -> bytes:
+        """Raw encoded transaction bytes at ``offset`` (O(1))."""
+        length = self._length_at.get(offset)
+        if length is None:
+            raise BinlogError(f"no transaction at offset {offset} in {self.name!r}")
+        return bytes(self._buffer[offset:offset + length])
+
+    def read_transaction_at(self, offset: int) -> Transaction:
+        return Transaction.decode(self.read_bytes_at(offset))
+
+    def events(self) -> list[BinlogEvent]:
+        """Parse the whole file from bytes (header events included)."""
+        return list(decode_stream(bytes(self._buffer)))
+
+    def transactions(self) -> list[Transaction]:
+        """Parse from raw bytes — the 'parse historical binlog files' path
+        the leader uses to serve lagging followers (§3.1)."""
+        return group_into_transactions(self.events())
+
+    def previous_gtids(self) -> str:
+        header = self.events()[1]
+        if not isinstance(header, PreviousGtidsEvent):
+            raise BinlogError(f"file {self.name!r} missing PreviousGtids header")
+        return header.gtid_set
+
+    def truncate_transactions_from(self, count_to_keep: int) -> int:
+        """Drop all but the first ``count_to_keep`` transactions (Raft log
+        truncation of an uncommitted suffix, §3.3 step 4). Returns how
+        many transactions were removed."""
+        if count_to_keep < 0 or count_to_keep > len(self._txn_offsets):
+            raise BinlogError(
+                f"cannot keep {count_to_keep} of {len(self._txn_offsets)} transactions"
+            )
+        removed = len(self._txn_offsets) - count_to_keep
+        if removed:
+            first_cut = self._txn_offsets[count_to_keep][0]
+            for offset, _ in self._txn_offsets[count_to_keep:]:
+                self._length_at.pop(offset, None)
+            del self._buffer[first_cut:]
+            del self._txn_offsets[count_to_keep:]
+        return removed
+
+    def raw_bytes(self) -> bytes:
+        return bytes(self._buffer)
+
+    def checksum(self) -> str:
+        """Content hash for cross-replica log-equality checks (§5.1).
+
+        Uses sha256, not crc32: the buffer embeds per-event crc32 values,
+        and crc32(m ‖ crc32(m)) is a constant residue for any m, so an
+        outer crc32 would be blind to content.
+        """
+        import hashlib
+
+        return hashlib.sha256(bytes(self._buffer)).hexdigest()
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return f"BinlogFile({self.name!r}, {self.transaction_count} txns, {state})"
+
+
+class LogIndex:
+    """The ``.index`` file: ordered names of live log files."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+
+    def add(self, name: str) -> None:
+        if name in self._names:
+            raise BinlogError(f"duplicate log file {name!r} in index")
+        if self._names and parse_file_sequence(name) <= parse_file_sequence(self._names[-1]):
+            raise BinlogError(f"log file {name!r} out of order after {self._names[-1]!r}")
+        self._names.append(name)
+
+    def remove(self, name: str) -> None:
+        try:
+            self._names.remove(name)
+        except ValueError:
+            raise BinlogError(f"log file {name!r} not in index") from None
+
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    def first(self) -> str | None:
+        return self._names[0] if self._names else None
+
+    def last(self) -> str | None:
+        return self._names[-1] if self._names else None
+
+    def files_before(self, name: str) -> list[str]:
+        """Files strictly older than ``name`` (the PURGE LOGS TO set)."""
+        if name not in self._names:
+            raise BinlogError(f"log file {name!r} not in index")
+        return self._names[: self._names.index(name)]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names

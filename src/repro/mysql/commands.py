@@ -1,0 +1,113 @@
+"""MySQL replication SQL commands over the simulated server (§3).
+
+The paper preserves MySQL's external behaviour: ``SHOW BINARY LOGS``,
+``SHOW MASTER STATUS``, ``SHOW REPLICA STATUS``, ``PURGE LOGS TO`` and
+``FLUSH BINARY LOGS`` keep working under MyRaft, while operations Raft
+now owns — ``CHANGE MASTER TO``, ``RESET MASTER``, ``RESET REPLICATION``
+— are adjusted or disallowed.
+
+This module is the operator-facing façade implementing that surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import MySQLError
+from repro.mysql.server import MySQLServer, ServerRole
+
+
+class CommandInterface:
+    """Dispatch MySQL-style admin statements against one server.
+
+    ``raft_driver`` is the owning :class:`MyRaftServer` when the instance
+    runs under MyRaft; None for the standalone / semi-sync cases.
+    """
+
+    DISALLOWED = {
+        "CHANGE MASTER TO": "replication topology is managed by Raft",
+        "RESET MASTER": "the binary log is the Raft replicated log",
+        "RESET REPLICATION": "replication state is managed by Raft",
+    }
+
+    def __init__(self, server: MySQLServer, raft_driver: Any | None = None) -> None:
+        self.server = server
+        self.raft_driver = raft_driver
+
+    def execute(self, statement: str) -> list[dict[str, Any]]:
+        """Run one admin statement; returns result rows."""
+        normalized = " ".join(statement.strip().rstrip(";").upper().split())
+        for forbidden, reason in self.DISALLOWED.items():
+            if normalized.startswith(forbidden):
+                raise MySQLError(f"{forbidden} is disallowed under MyRaft: {reason}")
+        if normalized == "SHOW BINARY LOGS":
+            return self.show_binary_logs()
+        if normalized == "SHOW MASTER STATUS":
+            return self.show_master_status()
+        if normalized == "SHOW REPLICA STATUS":
+            return self.show_replica_status()
+        if normalized == "FLUSH BINARY LOGS":
+            return self.flush_binary_logs()
+        if normalized.startswith("PURGE LOGS TO "):
+            target = statement.strip().rstrip(";").split()[-1].strip("'\"")
+            return self.purge_logs_to(target)
+        raise MySQLError(f"unsupported statement: {statement!r}")
+
+    # -- SHOW commands -------------------------------------------------------
+
+    def show_binary_logs(self) -> list[dict[str, Any]]:
+        """SHOW BINARY LOGS: the live log files and their sizes."""
+        return self.server.log_manager.describe()
+
+    def show_master_status(self) -> list[dict[str, Any]]:
+        """SHOW MASTER STATUS: current file/position and executed GTIDs."""
+        manager = self.server.log_manager
+        current = manager.current_file
+        return [
+            {
+                "File": current.name,
+                "Position": current.size_bytes,
+                "Executed_Gtid_Set": str(self.server.engine.executed_gtids),
+            }
+        ]
+
+    def show_replica_status(self) -> list[dict[str, Any]]:
+        """SHOW REPLICA STATUS: applier state on a replica (empty set on a
+        primary, like real MySQL)."""
+        if self.server.role == ServerRole.PRIMARY:
+            return []
+        applier = self.server.applier
+        row = {
+            "Replica_SQL_Running": "Yes" if applier is not None and applier.running else "No",
+            "Executed_Gtid_Set": str(self.server.engine.executed_gtids),
+            "Last_Applied_OpId": str(self.server.engine.last_committed_opid),
+        }
+        if self.raft_driver is not None:
+            row["Source_Host"] = self.raft_driver.node.leader_id or ""
+            row["Auto_Position"] = 1
+        return [row]
+
+    # -- log maintenance (§A.1) ------------------------------------------------
+
+    def flush_binary_logs(self) -> list[dict[str, Any]]:
+        """FLUSH BINARY LOGS: under MyRaft, the rotate event replicates
+        through Raft so log files stay identical across the replicaset;
+        standalone, it rotates locally."""
+        if self.raft_driver is not None:
+            self.raft_driver.flush_binary_logs()
+        else:
+            self.server.log_manager.rotate()
+        return [{"status": "ok"}]
+
+    def purge_logs_to(self, file_name: str) -> list[dict[str, Any]]:
+        """PURGE LOGS TO: purging is local, but every file must be
+        approved — under MyRaft by consulting Raft's region watermarks
+        (files not yet shipped out of region are refused)."""
+        manager = self.server.log_manager
+        if file_name not in manager.index:
+            raise MySQLError(f"unknown log file {file_name!r}")
+        if self.raft_driver is not None:
+            purged = self.raft_driver.purge_to_horizon()
+        else:
+            purged = manager.purge_logs_to(file_name, approval=lambda name: True)
+        return [{"purged": name} for name in purged]

@@ -1,0 +1,210 @@
+"""The three-stage group-commit pipeline (§3.4, §3.5).
+
+Transactions that reach their commit point enter here. Each stage has an
+implicit mutex (one worker coroutine), and the set of transactions
+grouped together moves down the stages in tandem:
+
+1. **Flush** — the group is logged to the binlog (via Raft on MyRaft, via
+   the local binlog + acker broadcast on semi-sync). One fsync per group.
+2. **Wait for consensus commit** — blocked until the *last* transaction
+   in the group is consensus-committed. On a MyRaft leader that means
+   quorum votes arrived; on a follower, that the leader's commit marker
+   reached it — the same ``wait_fn`` either way, preserving the paper's
+   primary/replica symmetry.
+3. **Engine commit** — the prepared transactions are durably committed;
+   client futures resolve; row locks release.
+
+The pipeline is policy-free: the three stage behaviours are injected, so
+the identical machinery drives a MyRaft primary, a MyRaft replica's
+applier, and the semi-sync baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import TransactionAborted
+from repro.mysql.engine import EngineTransaction
+from repro.mysql.events import Transaction
+from repro.sim.coro import SimFuture
+from repro.sim.host import Host
+from repro.sim.queues import AsyncQueue
+from repro.raft.types import OpId
+
+# flush_fn(group) -> OpId of the group's last entry (stamps txn.opid)
+FlushFn = Callable[[list["PipelineTxn"]], OpId]
+# wait_fn(last_opid) -> SimFuture resolving at consensus commit
+WaitFn = Callable[[OpId], SimFuture]
+# commit_fn(group) -> None: engine-commit every member
+CommitFn = Callable[[list["PipelineTxn"]], None]
+
+
+@dataclass
+class PipelineTxn:
+    """One transaction travelling through the pipeline."""
+
+    payload: Transaction
+    engine_txn: EngineTransaction | None
+    done: SimFuture
+    opid: OpId | None = None
+    enqueue_time: float = 0.0
+    aborted: bool = False
+    context: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_data(self) -> bool:
+        return self.payload.is_data
+
+
+class CommitPipeline:
+    """The shared three-stage group-commit machine."""
+
+    def __init__(
+        self,
+        host: Host,
+        flush_fn: FlushFn,
+        wait_fn: WaitFn,
+        commit_fn: CommitFn,
+        flush_latency: Callable[[int], float],
+        commit_latency: Callable[[], float],
+        abort_fn: Callable[["PipelineTxn"], None] | None = None,
+        name: str = "pipeline",
+    ) -> None:
+        self.host = host
+        self.name = name
+        self._flush_fn = flush_fn
+        self._wait_fn = wait_fn
+        self._commit_fn = commit_fn
+        self._abort_fn = abort_fn
+        self._flush_latency = flush_latency
+        self._commit_latency = commit_latency
+        self._flush_queue = AsyncQueue(host.loop, f"{name}.flush")
+        self._wait_queue = AsyncQueue(host.loop, f"{name}.wait")
+        self._commit_queue = AsyncQueue(host.loop, f"{name}.commit")
+        self._in_flight: list[PipelineTxn] = []
+        self.groups_flushed = 0
+        self.txns_committed = 0
+        self.stopped = False
+        host.spawn(self._flush_worker(), label=f"{name}.flush")
+        host.spawn(self._wait_worker(), label=f"{name}.wait")
+        host.spawn(self._commit_worker(), label=f"{name}.commit")
+
+    # -- entry --------------------------------------------------------------
+
+    def submit(self, txn: PipelineTxn) -> SimFuture:
+        """Enter the pipeline; returns the txn's done future."""
+        if self.stopped:
+            txn.done.fail_if_pending(TransactionAborted(f"{self.name} stopped"))
+            return txn.done
+        txn.enqueue_time = self.host.loop.now
+        self._flush_queue.put(txn)
+        return txn.done
+
+    @property
+    def depth(self) -> int:
+        return len(self._flush_queue) + len(self._wait_queue) + len(self._commit_queue) + len(
+            self._in_flight
+        )
+
+    # -- stages --------------------------------------------------------------
+
+    @staticmethod
+    def _live(group: list[PipelineTxn]) -> list[PipelineTxn]:
+        """Drop transactions aborted while the group was mid-stage (an
+        abort_all may race a sleeping stage worker)."""
+        return [txn for txn in group if not txn.aborted]
+
+    def _flush_worker(self):
+        while not self.stopped:
+            first = yield self._flush_queue.get()
+            group = [first] + self._flush_queue.drain()  # group commit
+            self._in_flight.extend(group)
+            # One fsync for the whole group plus any per-transaction work
+            # (e.g. Raft's OpId/checksum/compress bookkeeping, §3.4).
+            yield self._flush_latency(len(group))
+            group = self._live(group)
+            if not group:
+                continue
+            try:
+                last_opid = self._flush_fn(group)
+            except Exception as err:  # noqa: BLE001 - surfaces per txn
+                self._abort_group(group, err)
+                continue
+            self.groups_flushed += 1
+            self._wait_queue.put((group, last_opid))
+
+    def _wait_worker(self):
+        while not self.stopped:
+            group, last_opid = yield self._wait_queue.get()
+            try:
+                yield self._wait_fn(last_opid)
+            except Exception as err:  # noqa: BLE001
+                self._abort_group(group, err)
+                continue
+            group = self._live(group)
+            if group:
+                self._commit_queue.put(group)
+
+    def _commit_worker(self):
+        while not self.stopped:
+            group = yield self._commit_queue.get()
+            yield self._commit_latency()  # one engine sync for the group
+            group = self._live(group)
+            if not group:
+                continue
+            try:
+                self._commit_fn(group)
+            except Exception as err:  # noqa: BLE001
+                self._abort_group(group, err)
+                continue
+            self.txns_committed += len(group)
+            for txn in group:
+                self._remove_in_flight(txn)
+                txn.done.resolve_if_pending(txn.opid)
+
+    # -- teardown ---------------------------------------------------------------
+
+    def _abort_group(self, group: list[PipelineTxn], err: Exception) -> None:
+        for txn in group:
+            txn.aborted = True
+            self._remove_in_flight(txn)
+            if self._abort_fn is not None:
+                self._abort_fn(txn)
+            txn.done.fail_if_pending(err)
+
+    def _remove_in_flight(self, txn: PipelineTxn) -> None:
+        try:
+            self._in_flight.remove(txn)
+        except ValueError:
+            pass
+
+    def abort_all(self, reason: str) -> list[PipelineTxn]:
+        """Demotion (§3.3): fail every queued and in-flight transaction.
+        Returns them so the caller can roll back their engine state."""
+        error = TransactionAborted(reason)
+        victims: list[PipelineTxn] = []
+        victims.extend(self._flush_queue.drain())
+        for group, _ in self._wait_queue.drain():
+            victims.extend(group)
+        for group in self._commit_queue.drain():
+            victims.extend(group)
+        for txn in self._in_flight:
+            if txn not in victims:
+                victims.append(txn)
+        self._in_flight.clear()
+        for txn in victims:
+            txn.aborted = True
+            if self._abort_fn is not None:
+                self._abort_fn(txn)
+            txn.done.fail_if_pending(error)
+        return victims
+
+    def stop(self, reason: str = "stopped") -> list[PipelineTxn]:
+        """Stop the workers and abort everything in flight."""
+        self.stopped = True
+        victims = self.abort_all(reason)
+        self._flush_queue.close(TransactionAborted(reason))
+        self._wait_queue.close(TransactionAborted(reason))
+        self._commit_queue.close(TransactionAborted(reason))
+        return victims

@@ -1,0 +1,68 @@
+"""Row storage and row-based-replication images.
+
+Tables are keyed dicts of column dicts. Before/after images follow RBR
+full-image mode (§3.4): a write has no before image, a delete no after
+image, an update both.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import MySQLError
+
+Row = dict[str, Any]
+
+
+class Table:
+    """One table: primary key → row (column dict)."""
+
+    def __init__(self, name: str, rows: dict[Any, Row] | None = None) -> None:
+        self.name = name
+        self.rows: dict[Any, Row] = rows if rows is not None else {}
+
+    def get(self, pk: Any) -> Row | None:
+        row = self.rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def put(self, pk: Any, row: Row) -> None:
+        self.rows[pk] = dict(row)
+
+    def delete(self, pk: Any) -> None:
+        self.rows.pop(pk, None)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def stable_items(self) -> list[tuple[Any, Row]]:
+        """Rows in deterministic order, for checksums and comparisons."""
+        return sorted(self.rows.items(), key=lambda item: repr(item[0]))
+
+
+class RowChange:
+    """One row mutation with its RBR images."""
+
+    __slots__ = ("table", "pk", "before", "after")
+
+    def __init__(self, table: str, pk: Any, before: Row | None, after: Row | None) -> None:
+        if before is None and after is None:
+            raise MySQLError("row change with neither before nor after image")
+        self.table = table
+        self.pk = pk
+        self.before = before
+        self.after = after
+
+    @property
+    def kind(self) -> str:
+        if self.before is None:
+            return "write"
+        if self.after is None:
+            return "delete"
+        return "update"
+
+    def inverted(self) -> "RowChange":
+        """The rollback image (after ↔ before)."""
+        return RowChange(self.table, self.pk, self.after, self.before)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RowChange({self.kind} {self.table}[{self.pk!r}])"

@@ -1,0 +1,15 @@
+"""``mysql_raft_repl`` — Raft as a MySQL plugin (§3.1).
+
+- :class:`~repro.plugin.binlog_storage.BinlogRaftLogStorage` specializes
+  kuduraft's log abstraction to read/write MySQL binary logs.
+- :class:`~repro.plugin.raft_plugin.MyRaftServer` is a complete MyRaft
+  member: MySQL server + plugin + Raft node on one host.
+- :class:`~repro.plugin.logtailer.LogtailerService` is a witness: a Raft
+  voter with binlogs but no storage engine.
+"""
+
+from repro.plugin.binlog_storage import BinlogRaftLogStorage
+from repro.plugin.logtailer import LogtailerService
+from repro.plugin.raft_plugin import MyRaftServer
+
+__all__ = ["BinlogRaftLogStorage", "LogtailerService", "MyRaftServer"]

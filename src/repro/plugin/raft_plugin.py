@@ -1,0 +1,350 @@
+"""MyRaftServer: a complete MyRaft member (MySQL + plugin + kuduraft).
+
+This is the paper's Figure 2 in one object: the MySQL server interfaces
+with the ``mysql_raft_repl`` plugin, the plugin embeds the Raft node, and
+Raft calls back into MySQL through the orchestration hooks:
+
+- **promotion** (§3.3): no-op asserted by Raft → applier catches up and
+  commits everything to the engine → logs rewired relay→binlog → client
+  writes enabled → service discovery updated;
+- **demotion** (§3.3): in-flight transactions aborted (online rollback of
+  prepared state) → writes disabled → logs rewired binlog→relay → applier
+  restarted from the engine's last committed transaction;
+- **commit path** (§3.4/§3.5): the shared three-stage pipeline, with the
+  flush stage proposing through Raft on the primary and writing the local
+  applier log on replicas, and the wait stage consulting Raft's commit
+  marker identically on both (the paper's symmetry design).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.control.discovery import ServiceDiscovery
+from repro.errors import NotLeaderError
+from repro.mysql.applier import Applier
+from repro.mysql.events import ConfigChangeEvent, NoOpEvent, RotateEvent, Transaction
+from repro.mysql.pipeline import PipelineTxn
+from repro.mysql.server import MySQLServer, ServerRole, make_pipeline_for_server
+from repro.mysql.timing import TimingProfile
+from repro.plugin.binlog_storage import BinlogRaftLogStorage
+from repro.raft.config import RaftConfig
+from repro.raft.hooks import RaftHooks, TimingModel
+from repro.raft.log_storage import ENTRY_KIND_DATA, LogEntry
+from repro.raft.membership import MembershipConfig
+from repro.raft.node import RaftNode
+from repro.raft.quorum import QuorumPolicy
+from repro.raft.types import OpId
+from repro.sim.coro import SimFuture
+from repro.sim.host import Host
+from repro.sim.rng import RngStream
+
+
+class _RaftDiskTiming(TimingModel):
+    """Follower-side relay-log write cost before the AppendEntries ack."""
+
+    def __init__(self, timing: TimingProfile, rng: RngStream) -> None:
+        self._timing = timing
+        self._rng = rng.child("raft-disk")
+
+    def log_append_delay(self, total_bytes: int) -> float:
+        return self._timing.binlog_fsync(self._rng)
+
+
+class _PluginHooks(RaftHooks):
+    """Raft → MySQL callback API (§3.1), delegating to the plugin."""
+
+    def __init__(self, plugin: "MyRaftServer") -> None:
+        self._plugin = plugin
+
+    def on_elected_leader(self, term: int, noop_opid: OpId) -> None:
+        self._plugin._on_elected_leader(term, noop_opid)
+
+    def on_demoted(self, term: int, leader: str | None) -> None:
+        self._plugin._on_demoted(term, leader)
+
+    def on_transfer_quiesce(self) -> None:
+        self._plugin.mysql.read_only = True
+
+    def on_transfer_unquiesce(self) -> None:
+        if self._plugin.node.is_leader:
+            self._plugin.mysql.read_only = False
+
+    def on_entries_appended(self, entries: list[LogEntry], from_leader: bool) -> None:
+        self._plugin._on_entries_appended(entries, from_leader)
+
+    def on_truncated(self, removed: list[LogEntry]) -> None:
+        self._plugin._on_truncated(removed)
+
+    def on_commit_advance(self, opid: OpId) -> None:
+        self._plugin._on_commit_advance(opid)
+
+    def noop_payload(self, leader: str):
+        return lambda opid: Transaction(events=(NoOpEvent(leader, opid),)).encode()
+
+    def config_payload(self, change: str, subject: str, members_wire: tuple):
+        return lambda opid: Transaction(
+            events=(ConfigChangeEvent(change, subject, members_wire, opid),)
+        ).encode()
+
+
+class MyRaftServer:
+    """Host service: one MyRaft database member."""
+
+    def __init__(
+        self,
+        host: Host,
+        membership: MembershipConfig,
+        policy: QuorumPolicy,
+        raft_config: RaftConfig,
+        timing: TimingProfile,
+        rng: RngStream,
+        router: Any | None = None,
+        discovery: ServiceDiscovery | None = None,
+        replicaset: str = "rs0",
+    ) -> None:
+        self.host = host
+        self.discovery = discovery
+        self.replicaset = replicaset
+        self.mysql = MySQLServer(host, timing, rng, initial_role=ServerRole.REPLICA)
+        self.storage = BinlogRaftLogStorage(self.mysql.log_manager)
+        self.node = RaftNode(
+            host=host,
+            config=raft_config,
+            storage=self.storage,
+            policy=policy,
+            membership=membership,
+            hooks=_PluginHooks(self),
+            timing=_RaftDiskTiming(timing, rng),
+            rng=rng,
+            router=router,
+        )
+        self._commit_waiters: list[tuple[int, SimFuture]] = []
+        self.applier: Applier | None = None
+        self.promotions = 0
+        self.demotions = 0
+        self._build_replica_runtime()
+
+    # -- host service interface -------------------------------------------------
+
+    def handle_message(self, src: str, message: Any) -> None:
+        from repro.semisync.messages import HealthPing, HealthPong
+
+        if isinstance(message, HealthPing):
+            # Monitoring keeps working across the enable-raft cutover.
+            self.host.send(src, HealthPong(message.probe_id, self.host.name))
+            return
+        module = type(message).__module__
+        if not module.startswith("repro.raft"):
+            return  # stale prior-setup traffic right after a rollout
+        self.node.handle_message(src, message)
+
+    def on_crash(self) -> None:
+        self.node.on_crash()
+        for _, waiter in self._commit_waiters:
+            waiter.fail_if_pending(NotLeaderError(f"{self.host.name} crashed"))
+        self._commit_waiters.clear()
+
+    def on_restart(self) -> None:
+        """Crash recovery (§A.2): prepared engine transactions roll back,
+        the binlog index is rebuilt from file bytes, Raft rejoins as a
+        follower and reconciles its log with the new leader."""
+        self.mysql.recover_after_restart()
+        self.storage.reload(self.mysql.log_manager)
+        self.node.on_restart()
+        self._build_replica_runtime()
+        self._trace("myraft.recovered")
+
+    # -- runtime assembly ------------------------------------------------------------
+
+    def _teardown_runtime(self) -> None:
+        if self.mysql.pipeline is not None:
+            self.mysql.pipeline.stop("role change")
+        if self.applier is not None:
+            self.applier.stop()
+            self.applier = None
+
+    def _build_replica_runtime(self) -> None:
+        pipeline = make_pipeline_for_server(
+            self.mysql,
+            flush_fn=self._applier_flush,
+            wait_fn=self.wait_for_commit,
+            name=f"{self.host.name}.applier-pipeline",
+        )
+        self.applier = Applier(
+            host=self.host,
+            engine=self.mysql.engine,
+            entry_source=self._entry_source,
+            pipeline=pipeline,
+            timing=self.mysql.timing,
+            rng=self.mysql.rng,
+        )
+        self.mysql.attach_applier(self.applier)
+        # Online recovery protocol (§3.3 step 5): the applier cursor comes
+        # from the last transaction committed in the engine.
+        self.applier.start(self.mysql.engine.last_committed_opid.index + 1)
+
+    def _build_primary_runtime(self) -> None:
+        make_pipeline_for_server(
+            self.mysql,
+            flush_fn=self._leader_flush,
+            wait_fn=self.wait_for_commit,
+            name=f"{self.host.name}.primary-pipeline",
+        )
+        self.applier = None
+
+    # -- pipeline stage behaviours ---------------------------------------------------
+
+    def _leader_flush(self, group: list[PipelineTxn]) -> OpId:
+        """Primary flush stage (§3.4): Raft assigns OpIds, stamps them into
+        the payloads, writes the binlog, caches, and starts shipping."""
+        last: OpId | None = None
+        for txn in group:
+            opid, _consensus = self.node.propose(
+                lambda assigned, t=txn: t.payload.with_opid(assigned).encode(),
+                ENTRY_KIND_DATA,
+            )
+            txn.opid = opid
+            if txn.engine_txn is not None:
+                txn.engine_txn.opid = opid
+            last = opid
+        assert last is not None
+        return last
+
+    def _applier_flush(self, group: list[PipelineTxn]) -> OpId:
+        """Replica flush stage (§3.5): the transactions are written to the
+        applier's local (non-replicated) log; OpIds came with the relay
+        log, so only the fsync cost applies (charged by the pipeline)."""
+        last = group[-1].opid
+        assert last is not None
+        return last
+
+    def wait_for_commit(self, opid: OpId) -> SimFuture:
+        """Stage-2 behaviour for both roles (§3.5's symmetry): resolve when
+        Raft's consensus-commit marker covers ``opid``.
+
+        The check is on the full OpId, not the bare index: if the log was
+        truncated and a different term's entry now occupies the index,
+        the waiter must fail (the transaction it was waiting for is gone),
+        never be confirmed by the usurping entry's commit.
+        """
+        future = SimFuture(self.host.loop, label=f"wait-commit:{opid}")
+        if self.node.commit_index >= opid.index:
+            self._settle_commit_waiter(opid, future)
+        else:
+            self._commit_waiters.append((opid, future))
+        return future
+
+    def _settle_commit_waiter(self, opid: OpId, future: SimFuture) -> None:
+        current = self.storage.opid_at(opid.index)
+        if current == opid:
+            future.resolve_if_pending(opid)
+        else:
+            future.fail_if_pending(
+                NotLeaderError(f"entry {opid} was truncated before consensus commit")
+            )
+
+    # -- raft hook implementations ------------------------------------------------------
+
+    def _on_commit_advance(self, opid: OpId) -> None:
+        matured = [(o, f) for o, f in self._commit_waiters if o.index <= opid.index]
+        self._commit_waiters = [(o, f) for o, f in self._commit_waiters if o.index > opid.index]
+        for waited_opid, future in matured:
+            self._settle_commit_waiter(waited_opid, future)
+
+    def _on_entries_appended(self, entries: list[LogEntry], from_leader: bool) -> None:
+        if from_leader and self.applier is not None:
+            self.applier.signal()
+
+    def _on_truncated(self, removed: list[LogEntry]) -> None:
+        # GTID metadata cleanup happens inside BinlogRaftLogStorage; the
+        # engine never saw these transactions (they were not consensus
+        # committed, hence never engine-committed). Any pipeline stage
+        # still waiting on a removed entry must abort now.
+        if removed:
+            cut = min(entry.opid.index for entry in removed)
+            affected = [(o, f) for o, f in self._commit_waiters if o.index >= cut]
+            self._commit_waiters = [(o, f) for o, f in self._commit_waiters if o.index < cut]
+            for waited_opid, future in affected:
+                future.fail_if_pending(
+                    NotLeaderError(f"entry {waited_opid} truncated from the log")
+                )
+        self._trace("myraft.log_truncated", count=len(removed))
+
+    def _on_elected_leader(self, term: int, noop_opid: OpId) -> None:
+        self.host.spawn(
+            self._promotion(term, noop_opid), label=f"{self.host.name}:promotion"
+        )
+
+    def _promotion(self, term: int, noop_opid: OpId):
+        """§3.3 replica → primary orchestration (steps 2–5; step 1, the
+        no-op append, already happened inside Raft)."""
+        self._trace("myraft.promotion_started", noop=str(noop_opid))
+        if self.applier is not None:
+            self.applier.signal()
+            yield self.applier.catch_up_to(noop_opid.index)
+        if not (self.node.is_leader and self.node.current_term == term):
+            self._trace("myraft.promotion_abandoned")
+            return
+        self._teardown_runtime()
+        self.mysql.rewire_logs("binlog")
+        self._build_primary_runtime()
+        self.mysql.enable_client_writes()
+        self.promotions += 1
+        if self.discovery is not None:
+            self.discovery.publish_primary(self.replicaset, self.host.name)
+        self._trace("myraft.promoted")
+
+    def _on_demoted(self, term: int, leader: str | None) -> None:
+        """§3.3 primary → replica orchestration (synchronous: every step is
+        an online, non-blocking operation)."""
+        aborted = self.mysql.abort_in_flight("leader demoted")
+        self.mysql.disable_client_writes()
+        self._teardown_runtime()
+        self.mysql.rewire_logs("relay")
+        self._build_replica_runtime()
+        self.demotions += 1
+        self._trace("myraft.demoted", aborted=aborted, new_leader=leader)
+
+    # -- applier feed ----------------------------------------------------------------------
+
+    def _entry_source(self, index: int):
+        entry = self.storage.entry(index)
+        if entry is None:
+            return None
+        return Transaction.decode(entry.payload), entry.kind
+
+    # -- operator commands ----------------------------------------------------------------
+
+    def submit_write(self, table: str, rows: dict):
+        """Run one client write transaction; returns its Process/future."""
+        return self.host.spawn(
+            self.mysql.client_write(table, rows), label=f"{self.host.name}:write"
+        )
+
+    def flush_binary_logs(self):
+        """FLUSH BINARY LOGS (§A.1): replicate a rotate through Raft."""
+        if not self.node.is_leader:
+            raise NotLeaderError(f"{self.host.name} is not the primary")
+        factory = lambda opid: Transaction(events=(RotateEvent("next", opid),)).encode()
+        _, future = self.node.propose(factory, "rotate")
+        return future
+
+    def purge_to_horizon(self) -> list[str]:
+        """PURGE LOGS with Raft approval (§A.1): the leader purges below
+        the slowest region's watermark; a replica below what it has
+        applied to the engine."""
+        if self.node.is_leader and self.node.leader_state is not None:
+            from repro.flexiraft.watermarks import safe_purge_horizon
+
+            horizon = safe_purge_horizon(self.node.membership, self.node.leader_state.match_of)
+        else:
+            horizon = self.mysql.engine.last_committed_opid.index
+        return self.storage.purge_files_below(horizon)
+
+    def status(self) -> dict[str, Any]:
+        return {**self.mysql.status(), **{"raft": self.node.status()}}
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        if self.host.tracer is not None:
+            self.host.tracer.emit(kind, host=self.host.name, **fields)

@@ -1,0 +1,69 @@
+"""Raft tunables.
+
+Defaults mirror the paper's production configuration where stated:
+500 ms heartbeats with three consecutive misses required to start an
+election (§6.2), giving ~1.5 s failure detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RaftConfig:
+    """Protocol timing and sizing knobs for one Raft node."""
+
+    # -- failure detection / elections --------------------------------------
+    heartbeat_interval: float = 0.5
+    missed_heartbeats_for_election: int = 3
+    # Random extra election timeout in [0, jitter] decorrelates candidates.
+    election_timeout_jitter: float = 0.5
+    # How long a candidate waits for votes before retrying at a higher term.
+    vote_timeout: float = 1.0
+    # Pre-vote round before real elections (kuduraft behaviour).
+    enable_pre_vote: bool = True
+    # Run a mock election before TransferLeadership (§4.3).
+    enable_mock_election: bool = True
+    mock_election_timeout: float = 1.0
+    # A mock-election voter in the candidate's region denies its vote when
+    # it is *unhealthily* behind the cursor: more than this many entries,
+    # or silent from the leader beyond the failure-detection window.
+    # (A few entries of in-flight replication lag must not fail transfers.)
+    mock_election_max_lag_entries: int = 500
+    # After quiescing for a transfer, how long to wait for the target to
+    # catch up before aborting and restoring write availability.
+    transfer_catchup_timeout: float = 5.0
+
+    # -- replication ---------------------------------------------------------
+    max_entries_per_append: int = 64
+    max_bytes_per_append: int = 1 << 20
+    # Resend window: if a follower hasn't acked for this long, retry.
+    append_retry_interval: float = 0.25
+
+    # -- proxying (§4.2) -----------------------------------------------------
+    enable_proxying: bool = False
+    # How long a proxy waits for a missing entry to show up in its local
+    # log before degrading the proxied message to a heartbeat (§4.2.1).
+    proxy_wait_timeout: float = 0.05
+    # Leader routes around a proxy that hasn't acked for this long (§4.2.3).
+    proxy_health_timeout: float = 2.0
+
+    # -- log cache -------------------------------------------------------------
+    log_cache_max_bytes: int = 4 << 20
+
+    # -- witness behaviour (§2.2, §4.1) ------------------------------------------
+    # A witness elected leader transfers leadership to a caught-up
+    # storage-engine member after this settle delay.
+    witness_handoff_delay: float = 0.05
+
+    def election_timeout_base(self) -> float:
+        return self.heartbeat_interval * self.missed_heartbeats_for_election
+
+    def validate(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.missed_heartbeats_for_election < 1:
+            raise ValueError("missed_heartbeats_for_election must be >= 1")
+        if self.max_entries_per_append < 1:
+            raise ValueError("max_entries_per_append must be >= 1")

@@ -1,0 +1,70 @@
+"""Bounded in-memory log-entry cache (§3.1, §3.4).
+
+The leader serves AppendEntries from this cache when possible and falls
+back to parsing historical binlog files (via the log abstraction) when a
+follower has fallen too far behind. Proxy nodes use the same cache to
+reconstitute PROXY_OP payloads (§4.2.1).
+
+Eviction is oldest-first under a byte budget. The cache is volatile —
+crash empties it, which is exactly the condition that exercises the
+parse-from-disk path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.raft.log_storage import LogEntry
+
+
+class LogCache:
+    """index → LogEntry with a byte budget and oldest-first eviction."""
+
+    def __init__(self, max_bytes: int) -> None:
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[int, LogEntry] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, entry: LogEntry) -> None:
+        index = entry.opid.index
+        old = self._entries.pop(index, None)
+        if old is not None:
+            self._bytes -= old.size_bytes
+        self._entries[index] = entry
+        self._bytes += entry.size_bytes
+        self._evict()
+
+    def get(self, index: int) -> LogEntry | None:
+        entry = self._entries.get(index)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def _evict(self) -> None:
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size_bytes
+
+    def truncate_from(self, index: int) -> None:
+        """Drop cached entries at/after ``index`` (log truncation)."""
+        for cached_index in [i for i in self._entries if i >= index]:
+            removed = self._entries.pop(cached_index)
+            self._bytes -= removed.size_bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._entries

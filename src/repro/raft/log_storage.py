@@ -1,0 +1,194 @@
+"""The log abstraction (§3.1).
+
+kuduraft cannot natively read MySQL binary logs, so the paper adds a log
+abstraction layer that the ``mysql_raft_repl`` plugin specializes. Here
+:class:`LogStorage` is that abstraction: the Raft core only ever touches
+logs through it. :class:`InMemoryLogStorage` backs pure-protocol tests;
+:class:`repro.plugin.binlog_storage.BinlogRaftLogStorage` is the MySQL
+specialization that reads/writes actual binlog bytes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import LogTruncatedError, RaftError
+from repro.raft.types import OpId
+
+ENTRY_KIND_DATA = "data"
+ENTRY_KIND_NOOP = "noop"
+ENTRY_KIND_CONFIG = "config"
+ENTRY_KIND_ROTATE = "rotate"
+
+_VALID_KINDS = frozenset({ENTRY_KIND_DATA, ENTRY_KIND_NOOP, ENTRY_KIND_CONFIG, ENTRY_KIND_ROTATE})
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated-log entry.
+
+    ``payload`` is opaque bytes (an encoded MySQL transaction in MyRaft).
+    ``metadata`` carries the structured view Raft itself needs — notably
+    membership lists for config entries — so the core never parses
+    payload bytes.
+    """
+
+    opid: OpId
+    payload: bytes
+    kind: str = ENTRY_KIND_DATA
+    metadata: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise RaftError(f"invalid log entry kind {self.kind!r}")
+        if self.opid.index < 1:
+            raise RaftError(f"log entries start at index 1, got {self.opid}")
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LogEntry({self.opid}, {self.kind}, {self.size_bytes}B)"
+
+
+class LogStorage(ABC):
+    """Durable, ordered entry storage with truncation and range reads.
+
+    Indexes are dense from ``first_index()`` to ``last_opid().index``.
+    ``append`` is durable on return (the flush-stage fsync is charged by
+    the caller's timing model, not here).
+    """
+
+    @abstractmethod
+    def append(self, entries: list[LogEntry]) -> None:
+        """Append entries; indexes must continue the log densely."""
+
+    @abstractmethod
+    def truncate_from(self, index: int) -> list[LogEntry]:
+        """Remove entries with ``entry.opid.index >= index``; return them
+        (the plugin needs them to strip GTID metadata, §3.3)."""
+
+    @abstractmethod
+    def entry(self, index: int) -> LogEntry | None:
+        """The entry at ``index``; None if beyond the end. Raises
+        LogTruncatedError if purged below ``first_index``."""
+
+    @abstractmethod
+    def first_index(self) -> int:
+        """Lowest index still present (purging advances this)."""
+
+    @abstractmethod
+    def last_opid(self) -> OpId:
+        """OpId of the last entry; OpId.zero() when empty."""
+
+    def read_range(self, start: int, max_entries: int, max_bytes: int) -> list[LogEntry]:
+        """Entries from ``start`` bounded by count and bytes (≥1 entry if
+        one exists, so a huge entry still replicates)."""
+        entries: list[LogEntry] = []
+        total = 0
+        index = start
+        while len(entries) < max_entries:
+            entry = self.entry(index)
+            if entry is None:
+                break
+            if entries and total + entry.size_bytes > max_bytes:
+                break
+            entries.append(entry)
+            total += entry.size_bytes
+            index += 1
+        return entries
+
+    def opid_at(self, index: int) -> OpId | None:
+        """OpId of the entry at ``index`` without materializing payload
+        bytes; implementations override this with an O(1) lookup."""
+        entry = self.entry(index)
+        return entry.opid if entry is not None else None
+
+    def term_at(self, index: int) -> int | None:
+        """Term of the entry at ``index`` (0 for the pre-log position).
+
+        Delegates the purged-below check to ``opid_at`` so snapshot-based
+        storages can answer for their base index (the Raft
+        last-included-term) even though the entry bytes are gone.
+        """
+        if index == 0:
+            return 0
+        opid = self.opid_at(index)
+        return opid.term if opid is not None else None
+
+    def is_empty(self) -> bool:
+        return self.last_opid() == OpId.zero()
+
+
+class InMemoryLogStorage(LogStorage):
+    """List-backed storage for pure-Raft tests and logtailer-free sims.
+
+    Stores into a durable namespace dict when provided, so host crash /
+    restart preserves the log like a disk would.
+    """
+
+    def __init__(self, durable: dict[str, Any] | None = None) -> None:
+        self._state = durable if durable is not None else {}
+        self._state.setdefault("entries", [])
+        self._state.setdefault("base_index", 1)
+        # OpId of the newest purged entry, so last_opid stays correct even
+        # if purging ever empties the log.
+        self._state.setdefault("purged_last_opid", OpId.zero())
+
+    @property
+    def _entries(self) -> list[LogEntry]:
+        return self._state["entries"]
+
+    @property
+    def _base(self) -> int:
+        return self._state["base_index"]
+
+    def append(self, entries: list[LogEntry]) -> None:
+        for entry in entries:
+            expected = self.last_opid().index + 1
+            if entry.opid.index != expected:
+                raise RaftError(f"append gap: expected index {expected}, got {entry.opid}")
+            if entry.opid.term < self.last_opid().term:
+                raise RaftError(f"term regression: {entry.opid} after {self.last_opid()}")
+            self._entries.append(entry)
+
+    def truncate_from(self, index: int) -> list[LogEntry]:
+        if index < self._base:
+            raise LogTruncatedError(f"cannot truncate purged index {index}")
+        position = index - self._base
+        if position >= len(self._entries):
+            return []
+        removed = self._entries[position:]
+        del self._entries[position:]
+        return removed
+
+    def entry(self, index: int) -> LogEntry | None:
+        if index < self._base:
+            raise LogTruncatedError(f"index {index} purged (first={self._base})")
+        position = index - self._base
+        if position >= len(self._entries):
+            return None
+        return self._entries[position]
+
+    def first_index(self) -> int:
+        return self._base
+
+    def last_opid(self) -> OpId:
+        if not self._entries:
+            return self._state["purged_last_opid"]
+        return self._entries[-1].opid
+
+    def purge_below(self, index: int) -> int:
+        """Drop entries with index < ``index``; returns count removed."""
+        keep_from = max(0, index - self._base)
+        removed = self._entries[:keep_from]
+        del self._entries[:keep_from]
+        self._state["base_index"] = self._base + len(removed)
+        if removed:
+            self._state["purged_last_opid"] = max(
+                self._state["purged_last_opid"], removed[-1].opid
+            )
+        return len(removed)

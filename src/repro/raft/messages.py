@@ -1,0 +1,174 @@
+"""Raft RPC messages with a wire-size model.
+
+Wire sizes drive the network's byte accounting, which in turn drives the
+§4.2.2 proxy-bandwidth experiment. Sizes follow the paper's
+back-of-the-envelope framing: a header of a few dozen bytes per RPC,
+payload bytes for full entries, and ~24 bytes of metadata per ``PROXY_OP``
+(term + index + length placeholder) instead of the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.raft.log_storage import LogEntry
+from repro.raft.types import OpId
+
+RPC_HEADER_BYTES = 64
+PER_ENTRY_OVERHEAD_BYTES = 16
+PROXY_OP_BYTES = 24
+
+
+@dataclass(frozen=True)
+class AppendEntriesRequest:
+    """Leader → member replication RPC (also the heartbeat when empty).
+
+    Proxying (§4.2): when ``proxy_opids`` is non-empty, this is a
+    PROXY_OP message — metadata only; the final proxy reconstitutes the
+    payload from its own log. ``route`` is the remaining hops to
+    ``final_dest``; ``return_path`` accumulates hops for the response to
+    travel back up to the leader.
+    """
+
+    term: int
+    leader: str
+    prev_opid: OpId
+    commit_opid: OpId
+    entries: tuple = ()  # tuple[LogEntry, ...]
+    proxy_opids: tuple = ()  # tuple[OpId, ...]
+    final_dest: str = ""
+    route: tuple = ()  # tuple[str, ...]
+    return_path: tuple = ()  # tuple[str, ...]
+
+    @property
+    def is_heartbeat(self) -> bool:
+        return not self.entries and not self.proxy_opids
+
+    @property
+    def is_proxy_op(self) -> bool:
+        return bool(self.proxy_opids)
+
+    @property
+    def wire_size(self) -> int:
+        size = RPC_HEADER_BYTES
+        for entry in self.entries:
+            size += PER_ENTRY_OVERHEAD_BYTES + entry.size_bytes
+        size += PROXY_OP_BYTES * len(self.proxy_opids)
+        return size
+
+    def last_sent_opid(self) -> OpId:
+        """OpId of the newest entry this RPC covers (prev if empty)."""
+        if self.entries:
+            return self.entries[-1].opid
+        if self.proxy_opids:
+            return self.proxy_opids[-1]
+        return self.prev_opid
+
+
+@dataclass(frozen=True)
+class AppendEntriesResponse:
+    """Member → leader ack/nack, possibly proxied back via ``return_path``.
+
+    ``leader`` is the final addressee: proxies pop hops off
+    ``return_path`` and, when it is empty, deliver to ``leader``.
+    """
+
+    term: int
+    follower: str
+    success: bool
+    last_opid: OpId
+    leader: str = ""
+    return_path: tuple = ()
+
+    wire_size: int = RPC_HEADER_BYTES
+
+    def popped(self) -> "AppendEntriesResponse":
+        """Copy with the last return-path hop removed."""
+        return AppendEntriesResponse(
+            term=self.term,
+            follower=self.follower,
+            success=self.success,
+            last_opid=self.last_opid,
+            leader=self.leader,
+            return_path=self.return_path[:-1],
+        )
+
+
+@dataclass(frozen=True)
+class RequestVoteRequest:
+    """Candidate → voter. Covers real, pre- and mock elections.
+
+    Mock elections (§4.3): ``is_mock`` requests are pre-votes initiated on
+    behalf of a TransferLeadership target; ``cursor`` carries the current
+    leader's snapshot of its log tail, and voters apply the modified rule
+    that rejects the vote when they lag the cursor in the candidate's
+    region.
+    """
+
+    term: int
+    candidate: str
+    last_opid: OpId
+    is_pre_vote: bool = False
+    is_mock: bool = False
+    cursor: OpId | None = None
+    # Set during TransferLeadership: bypasses leader-stickiness checks.
+    is_leadership_transfer: bool = False
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class RequestVoteResponse:
+    """Voter → candidate.
+
+    Voters piggyback their newest leader knowledge (term + region) so a
+    FlexiRaft candidate can upgrade its required election quorum if its
+    own last-known-leader information is stale — our rendition of the
+    voting-history mechanism (§4.1).
+    """
+
+    term: int
+    voter: str
+    granted: bool
+    is_pre_vote: bool = False
+    is_mock: bool = False
+    reason: str = ""
+    last_leader_term: int = 0
+    last_leader_region: str | None = None
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class TimeoutNowRequest:
+    """Leader → transfer target: start a real election immediately (the
+    TransferLeadership trigger)."""
+
+    term: int
+    leader: str
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class MockElectionRequest:
+    """Current leader → intended new leader: run a mock election round
+    with the leader's cursor snapshot before TransferLeadership begins."""
+
+    term: int
+    leader: str
+    cursor: OpId
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class MockElectionResult:
+    """Transfer target → current leader: whether the mock round won."""
+
+    term: int
+    candidate: str
+    won: bool
+    reason: str = ""
+
+    wire_size: int = RPC_HEADER_BYTES

@@ -1,0 +1,1358 @@
+"""The Raft node: elections, replication, membership, transfer, proxying.
+
+One :class:`RaftNode` runs as (part of) a host's service. It is fully
+event-driven — message handlers plus host timers — and keeps the paper's
+separation: durable state (term, vote, last-leader knowledge) lives on
+the host's disk; the log lives behind the :class:`LogStorage`
+abstraction; everything else dies with the process.
+
+MyRaft-specific behaviours implemented here:
+
+- pluggable :class:`QuorumPolicy` (vanilla majority or FlexiRaft, §4.1);
+- witnesses (logtailers) can win elections — longest log wins — and then
+  hand leadership to a caught-up storage-engine member (§2.2, §4.1);
+- AppendEntries proxying with PROXY_OP reconstitution, degrade-to-
+  heartbeat, and leader route-around (§4.2);
+- mock elections before TransferLeadership (§4.3);
+- Quorum Fixer override hooks (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import (
+    LogTruncatedError,
+    MembershipError,
+    NotLeaderError,
+    RaftError,
+)
+from repro.raft.config import RaftConfig
+from repro.raft.hooks import PayloadFactory, RaftHooks, TimingModel
+from repro.raft.log_cache import LogCache
+from repro.raft.log_storage import (
+    ENTRY_KIND_CONFIG,
+    ENTRY_KIND_DATA,
+    ENTRY_KIND_NOOP,
+    LogEntry,
+    LogStorage,
+)
+from repro.raft.membership import MembershipConfig
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    MockElectionRequest,
+    MockElectionResult,
+    RequestVoteRequest,
+    RequestVoteResponse,
+    TimeoutNowRequest,
+)
+from repro.raft.quorum import ElectionContext, QuorumPolicy
+from repro.raft.replication import LeaderState, VoteTally
+from repro.raft.types import MemberInfo, OpId, RaftRole
+from repro.sim.coro import SimFuture
+from repro.sim.host import Host
+from repro.sim.rng import RngStream
+
+_DURABLE_NS = "raft"
+
+
+class RaftNode:
+    """A member of one Raft ring."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: RaftConfig,
+        storage: LogStorage,
+        policy: QuorumPolicy,
+        membership: MembershipConfig,
+        hooks: RaftHooks | None = None,
+        timing: TimingModel | None = None,
+        rng: RngStream | None = None,
+        router: "Any | None" = None,
+    ) -> None:
+        config.validate()
+        self.host = host
+        self.name = host.name
+        self.config = config
+        self.storage = storage
+        self.policy = policy
+        self.hooks = hooks or RaftHooks()
+        self.timing = timing or TimingModel()
+        self.rng = (rng or RngStream(1)).child(f"raft/{self.name}")
+        self.router = router  # ProxyRouter | None
+        self.tracer = host.tracer
+
+        durable = host.disk.namespace(_DURABLE_NS)
+        durable.setdefault("current_term", 0)
+        durable.setdefault("voted_for", (0, None))  # (term, candidate)
+        durable.setdefault("last_leader", (0, None, None))  # (term, name, region)
+        durable.setdefault("bootstrap_members", membership.to_wire())
+        self._durable = durable
+        # Invariant: current term is never behind the log's last term. This
+        # matters when adopting a pre-existing log (enable-raft converts
+        # semi-sync binlogs whose entries carry generation stamps).
+        last_log_term = storage.last_opid().term
+        if durable["current_term"] < last_log_term:
+            durable["current_term"] = last_log_term
+
+        # Volatile — rebuilt by _init_volatile on every (re)start.
+        self._init_volatile()
+
+        # Counters for experiments and assertions.
+        self.metrics: dict[str, int] = {
+            "elections_started": 0,
+            "elections_won": 0,
+            "pre_votes_started": 0,
+            "mock_elections": 0,
+            "proxy_forwards": 0,
+            "proxy_degrades": 0,
+            "transfers_initiated": 0,
+        }
+
+    # ------------------------------------------------------------------ state
+
+    def _init_volatile(self) -> None:
+        self.membership = self._rebuild_membership()
+        self_member = self.membership.member(self.name)
+        self._is_voter = self_member.is_voter if self_member else False
+        self.role = RaftRole.FOLLOWER if self._is_voter else RaftRole.LEARNER
+        self.leader_id: str | None = None
+        self.commit_index = 0
+        self.leader_state: LeaderState | None = None
+        self.cache = LogCache(self.config.log_cache_max_bytes)
+        self._election_timer = None
+        self._election_deadline = 0.0
+        self._vote_tally: VoteTally | None = None
+        self._pre_vote_tally: VoteTally | None = None
+        self._mock_tally: VoteTally | None = None
+        self._mock_reply_to: str | None = None
+        self._pending_proposals: dict[int, SimFuture] = {}
+        self._pending_transfer: SimFuture | None = None
+        self._transfer_target: str | None = None
+        self._mock_completed_for_transfer = False
+        self._pending_proxy: list[dict] = []
+        self._last_leader_contact = self.host.loop.now
+        self._quorum_override: QuorumPolicy | None = None
+        if self._is_voter:
+            self._reset_election_timer()
+
+    def _rebuild_membership(self) -> MembershipConfig:
+        """Latest config entry in the log wins; else the bootstrap list.
+        Per Raft, a config is adopted as soon as it is written (§2.2)."""
+        index = self.storage.last_opid().index
+        first = self.storage.first_index()
+        while index >= first:
+            entry = self.storage.entry(index)
+            if entry is not None and entry.kind == ENTRY_KIND_CONFIG:
+                return MembershipConfig.from_wire(entry.metadata, entry.opid.index)
+            index -= 1
+        return MembershipConfig.from_wire(self._durable["bootstrap_members"], 0)
+
+    # -- durable accessors ----------------------------------------------------
+
+    @property
+    def current_term(self) -> int:
+        return self._durable["current_term"]
+
+    def _set_term(self, term: int) -> None:
+        if term < self.current_term:
+            raise RaftError(f"term regression {self.current_term} -> {term}")
+        self._durable["current_term"] = term
+
+    def _voted_for(self, term: int) -> str | None:
+        voted_term, candidate = self._durable["voted_for"]
+        return candidate if voted_term == term else None
+
+    def _record_vote(self, term: int, candidate: str) -> None:
+        self._durable["voted_for"] = (term, candidate)
+
+    @property
+    def last_known_leader_region(self) -> str | None:
+        return self._durable["last_leader"][2]
+
+    @property
+    def last_known_leader_term(self) -> int:
+        return self._durable["last_leader"][0]
+
+    def _learn_leader(self, term: int, name: str) -> None:
+        if term >= self._durable["last_leader"][0]:
+            member = self.membership.member(name)
+            region = member.region if member else None
+            self._durable["last_leader"] = (term, name, region)
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role == RaftRole.LEADER
+
+    @property
+    def last_opid(self) -> OpId:
+        return self.storage.last_opid()
+
+    @property
+    def commit_opid(self) -> OpId:
+        if self.commit_index == 0:
+            return OpId.zero()
+        term = self._term_at(self.commit_index)
+        return OpId(term if term is not None else 0, self.commit_index)
+
+    def _term_at(self, index: int) -> int | None:
+        try:
+            return self.storage.term_at(index)
+        except LogTruncatedError:
+            return None
+
+    def _effective_policy(self) -> QuorumPolicy:
+        return self._quorum_override or self.policy
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(kind, node=self.name, term=self.current_term, **fields)
+
+    def status(self) -> dict[str, Any]:
+        """Operator-visible summary (control-plane tooling reads this)."""
+        return {
+            "name": self.name,
+            "role": self.role.value,
+            "term": self.current_term,
+            "leader": self.leader_id,
+            "last_opid": self.last_opid,
+            "commit_index": self.commit_index,
+            "members": self.membership.names(),
+            "quorum": self._effective_policy().describe(),
+        }
+
+    # ------------------------------------------------------- crash / restart
+
+    def on_crash(self) -> None:
+        for future in self._pending_proposals.values():
+            future.fail_if_pending(RaftError(f"{self.name} crashed"))
+        self._pending_proposals.clear()
+        if self._pending_transfer is not None:
+            self._pending_transfer.fail_if_pending(RaftError(f"{self.name} crashed"))
+
+    def on_restart(self) -> None:
+        self._init_volatile()
+        self._trace("raft.restarted")
+
+    # --------------------------------------------------------------- timers
+
+    def _election_timeout(self) -> float:
+        return self.config.election_timeout_base() + self.rng.uniform(
+            0.0, self.config.election_timeout_jitter
+        )
+
+    def _reset_election_timer(self) -> None:
+        """Push the election deadline out. The armed timer is *lazy*: it
+        re-checks the deadline when it fires instead of being cancelled
+        and re-armed on every heartbeat (heap-churn optimization)."""
+        if not self._is_voter:
+            return
+        self._election_deadline = self.host.loop.now + self._election_timeout()
+        if self._election_timer is None:
+            self._arm_election_timer()
+
+    def _arm_election_timer(self) -> None:
+        delay = max(0.0, self._election_deadline - self.host.loop.now)
+        self._election_timer = self.host.call_after(delay, self._on_election_timeout)
+
+    def _on_election_timeout(self) -> None:
+        self._election_timer = None
+        if self.role == RaftRole.LEADER or not self._is_voter:
+            return
+        if self.host.loop.now < self._election_deadline - 1e-12:
+            self._arm_election_timer()  # contact arrived since; wait more
+            return
+        self._trace("raft.election_timeout")
+        if self.config.enable_pre_vote:
+            self._start_pre_vote()
+        else:
+            self.start_election()
+        self._election_deadline = self.host.loop.now + self._election_timeout()
+        self._arm_election_timer()
+
+    # ------------------------------------------------------------ elections
+
+    def _start_pre_vote(self) -> None:
+        self.metrics["pre_votes_started"] += 1
+        self._pre_vote_tally = VoteTally(term=self.current_term + 1)
+        self._pre_vote_tally.record(self.name, True)
+        self._pre_vote_tally.learn_leader(
+            self.last_known_leader_term, self.last_known_leader_region
+        )
+        request = RequestVoteRequest(
+            term=self.current_term + 1,
+            candidate=self.name,
+            last_opid=self.last_opid,
+            is_pre_vote=True,
+        )
+        self._trace("raft.pre_vote_started")
+        self._broadcast_to_voters(request)
+        self._check_pre_vote_quorum()
+
+    def start_election(self, is_transfer: bool = False) -> None:
+        """Become candidate and solicit real votes.
+
+        ``is_transfer`` marks elections triggered by TimeoutNow: voters
+        skip leader-stickiness checks for them.
+        """
+        if not self._is_voter:
+            return
+        self.metrics["elections_started"] += 1
+        self._become_follower_bookkeeping_only()
+        self.role = RaftRole.CANDIDATE
+        self._set_term(self.current_term + 1)
+        self._record_vote(self.current_term, self.name)
+        self._vote_tally = VoteTally(term=self.current_term)
+        self._vote_tally.record(self.name, True)
+        self._vote_tally.learn_leader(
+            self.last_known_leader_term, self.last_known_leader_region
+        )
+        self._trace("raft.election_started", transfer=is_transfer)
+        request = RequestVoteRequest(
+            term=self.current_term,
+            candidate=self.name,
+            last_opid=self.last_opid,
+            is_leadership_transfer=is_transfer,
+        )
+        self._broadcast_to_voters(request)
+        self._check_vote_quorum()
+        # Retry with a fresh election if this one stalls.
+        self.host.call_after(self.config.vote_timeout, self._on_vote_timeout, self.current_term)
+
+    def _on_vote_timeout(self, term: int) -> None:
+        if self.role == RaftRole.CANDIDATE and self.current_term == term:
+            # Revert to follower rather than hammering ever-higher terms;
+            # the next attempt goes through pre-vote again, so a candidate
+            # the ring keeps refusing (stickiness, short log) stops
+            # inflating terms.
+            self._trace("raft.election_stalled")
+            self.role = RaftRole.FOLLOWER
+            self._vote_tally = None
+            self._reset_election_timer()
+
+    def _broadcast_to_voters(self, message: Any) -> None:
+        for member in self.membership.voters():
+            if member.name != self.name:
+                self.host.send(member.name, message)
+
+    def _election_context(self, tally: VoteTally) -> ElectionContext:
+        best_region = tally.best_leader_region
+        if tally.best_leader_term < self.last_known_leader_term:
+            best_region = self.last_known_leader_region
+        return ElectionContext(candidate=self.name, last_leader_region=best_region)
+
+    def _check_pre_vote_quorum(self) -> None:
+        tally = self._pre_vote_tally
+        if tally is None:
+            return
+        if self._effective_policy().election_quorum_satisfied(
+            frozenset(tally.granted), self.membership, self._election_context(tally)
+        ):
+            self._pre_vote_tally = None
+            self._trace("raft.pre_vote_won")
+            self.start_election()
+
+    def _check_vote_quorum(self) -> None:
+        tally = self._vote_tally
+        if tally is None or self.role != RaftRole.CANDIDATE:
+            return
+        if tally.term != self.current_term:
+            return
+        if self._effective_policy().election_quorum_satisfied(
+            frozenset(tally.granted), self.membership, self._election_context(tally)
+        ):
+            self._become_leader()
+
+    # -- voting (the voter side) -------------------------------------------------
+
+    def _handle_request_vote(self, src: str, req: RequestVoteRequest) -> None:
+        if req.is_mock:
+            self._handle_mock_vote(src, req)
+            return
+        granted, reason = self._evaluate_vote(req)
+        if granted and not req.is_pre_vote:
+            self._record_vote(req.term, req.candidate)
+            self._last_leader_contact = self.host.loop.now
+            self._reset_election_timer()
+        self._trace(
+            "raft.vote",
+            candidate=req.candidate,
+            granted=granted,
+            pre=req.is_pre_vote,
+            reason=reason,
+        )
+        self.host.send(
+            src,
+            RequestVoteResponse(
+                term=self.current_term,
+                voter=self.name,
+                granted=granted,
+                is_pre_vote=req.is_pre_vote,
+                reason=reason,
+                last_leader_term=self.last_known_leader_term,
+                last_leader_region=self.last_known_leader_region,
+            ),
+        )
+
+    def _evaluate_vote(self, req: RequestVoteRequest) -> tuple[bool, str]:
+        if req.term < self.current_term:
+            return False, "stale term"
+        # Leader stickiness (dissertation §9.6 / kuduraft vote-withholding):
+        # while we believe a leader is alive, refuse to destabilize it —
+        # *without* adopting the candidate's term — unless this is a
+        # sanctioned TransferLeadership election.
+        heard_recently = (
+            self.host.loop.now - self._last_leader_contact
+            < self.config.election_timeout_base()
+        )
+        believes_in_other_leader = self.is_leader or (
+            self.leader_id is not None and self.leader_id != req.candidate
+        )
+        if heard_recently and believes_in_other_leader and not req.is_leadership_transfer:
+            return False, "leader alive"
+        if not req.is_pre_vote and req.term > self.current_term:
+            self._step_down(req.term, leader=None)
+        if not req.is_pre_vote:
+            already = self._voted_for(req.term)
+            if already is not None and already != req.candidate:
+                return False, f"voted for {already}"
+        if req.last_opid < self.last_opid:
+            return False, "log behind"
+        return True, "ok"
+
+    def _handle_vote_response(self, src: str, resp: RequestVoteResponse) -> None:
+        if resp.is_mock:
+            self._handle_mock_vote_response(src, resp)
+            return
+        if resp.term > self.current_term:
+            self._step_down(resp.term, leader=None)
+            return
+        if resp.is_pre_vote:
+            tally = self._pre_vote_tally
+            if tally is not None:
+                tally.record(resp.voter, resp.granted)
+                tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+                self._check_pre_vote_quorum()
+            return
+        tally = self._vote_tally
+        if tally is None or resp.term != self.current_term:
+            return
+        tally.record(resp.voter, resp.granted)
+        tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+        self._check_vote_quorum()
+
+    # -- role transitions -----------------------------------------------------------
+
+    def _become_leader(self) -> None:
+        self.metrics["elections_won"] += 1
+        self.role = RaftRole.LEADER
+        self.leader_id = self.name
+        self._vote_tally = None
+        self._learn_leader(self.current_term, self.name)
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+            self._election_timer = None
+        self.leader_state = LeaderState.fresh(
+            self.current_term,
+            self.name,
+            self.membership,
+            self.last_opid.index,
+            self.host.loop.now,
+        )
+        # §3.3 step 1: assert leadership with a no-op entry; committing it
+        # consensus-commits the whole log tail.
+        noop_opid = self._append_as_leader(
+            self.hooks.noop_payload(self.name), ENTRY_KIND_NOOP
+        )
+        self._trace("raft.leader_elected", noop=str(noop_opid))
+        self.hooks.on_elected_leader(self.current_term, noop_opid)
+        self._replicate_all(force=True)
+        self._schedule_heartbeat()
+        if self._self_is_witness():
+            # Temporary witness leader: hand off to a database member once
+            # things settle (§4.1).
+            self.host.call_after(
+                self.config.witness_handoff_delay, self._witness_handoff, self.current_term
+            )
+
+    def _self_is_witness(self) -> bool:
+        member = self.membership.member(self.name)
+        return member is not None and member.is_witness
+
+    def _witness_handoff(self, term: int) -> None:
+        if not self.is_leader or self.current_term != term or self.leader_state is None:
+            return
+        candidates = [
+            m.name
+            for m in self.membership.voters()
+            if m.has_storage_engine and m.name != self.name
+        ]
+        target = self.leader_state.most_caught_up_peer(candidates)
+        if target is None:
+            self.host.call_after(
+                self.config.heartbeat_interval, self._witness_handoff, term
+            )
+            return
+        self._trace("raft.witness_handoff", target=target)
+        transfer = self.transfer_leadership(target)
+        # If the transfer fails (e.g. mock election lost), retry later.
+        def retry(completed: SimFuture) -> None:
+            failed = completed.exception() is not None or not completed.result()
+            if failed and self.is_leader and self.current_term == term and self.host.alive:
+                self.host.call_after(
+                    self.config.heartbeat_interval, self._witness_handoff, term
+                )
+
+        transfer.add_done_callback(retry)
+
+    def _become_follower_bookkeeping_only(self) -> None:
+        """Clear leader-side volatile state without role-change hooks."""
+        self.leader_state = None
+        self._vote_tally = None
+
+    def _step_down(self, term: int, leader: str | None) -> None:
+        was_leader = self.role == RaftRole.LEADER
+        if term > self.current_term:
+            self._set_term(term)
+        self.role = RaftRole.FOLLOWER if self._is_voter else RaftRole.LEARNER
+        self._become_follower_bookkeeping_only()
+        self.leader_id = leader
+        if leader is not None:
+            self._learn_leader(term, leader)
+        if was_leader:
+            self._trace("raft.stepped_down", new_leader=leader)
+            self._fail_pending_proposals(NotLeaderError(f"{self.name} lost leadership"))
+            if self._pending_transfer is not None and not self._pending_transfer.done():
+                # Losing leadership before TimeoutNow means the transfer as
+                # such failed (a new leader emerged some other way).
+                self._finish_transfer(False, "stepped down mid-transfer")
+            self.hooks.on_demoted(self.current_term, leader)
+        self._reset_election_timer()
+
+    def _fail_pending_proposals(self, error: Exception) -> None:
+        pending, self._pending_proposals = self._pending_proposals, {}
+        for future in pending.values():
+            future.fail_if_pending(error)
+
+    # --------------------------------------------------------------- propose
+
+    def propose(self, payload_factory: PayloadFactory, kind: str = ENTRY_KIND_DATA,
+                metadata: tuple = ()) -> tuple[OpId, SimFuture]:
+        """Leader-only: append an entry and return (opid, consensus future).
+
+        The future resolves with the OpId at consensus commit and fails
+        with :class:`NotLeaderError` if leadership is lost first.
+        """
+        if not self.is_leader:
+            raise NotLeaderError(f"{self.name} is {self.role.value}, not leader")
+        opid = self._append_as_leader(payload_factory, kind, metadata)
+        future = SimFuture(self.host.loop, label=f"consensus:{opid}")
+        self._pending_proposals[opid.index] = future
+        # In a ring where the self-vote alone satisfies the quorum (single
+        # node, forced quorum), the append already committed this entry.
+        self._resolve_proposals(self.commit_index)
+        self._replicate_all(force=False)
+        return opid, future
+
+    def _append_as_leader(
+        self, payload_factory: PayloadFactory, kind: str, metadata: tuple = ()
+    ) -> OpId:
+        opid = OpId(self.current_term, self.last_opid.index + 1)
+        entry = LogEntry(opid, payload_factory(opid), kind, metadata)
+        self.storage.append([entry])
+        self.cache.put(entry)
+        if self.leader_state is not None:
+            self.leader_state.last_log_index = opid.index
+        if kind == ENTRY_KIND_CONFIG:
+            self._adopt_config_from(entry)
+        self.hooks.on_entries_appended([entry], from_leader=False)
+        # Self-vote: maybe this alone satisfies the quorum (single node).
+        self._maybe_advance_commit()
+        return opid
+
+    # -- membership changes (§2.2) ---------------------------------------------------
+
+    def _has_uncommitted_config(self) -> bool:
+        return self.membership.config_index > self.commit_index
+
+    def add_member(self, member: MemberInfo) -> tuple[OpId, SimFuture]:
+        """Leader-only AddMember; one change at a time."""
+        if not self.is_leader:
+            raise NotLeaderError(f"{self.name} is not leader")
+        if self._has_uncommitted_config():
+            raise MembershipError("a membership change is already in flight")
+        new_config = self.membership.with_added(member, self.last_opid.index + 1)
+        return self._propose_config("add", member.name, new_config)
+
+    def remove_member(self, name: str) -> tuple[OpId, SimFuture]:
+        if not self.is_leader:
+            raise NotLeaderError(f"{self.name} is not leader")
+        if self._has_uncommitted_config():
+            raise MembershipError("a membership change is already in flight")
+        if name == self.name:
+            raise MembershipError("leader cannot remove itself; transfer first")
+        new_config = self.membership.with_removed(name, self.last_opid.index + 1)
+        return self._propose_config("remove", name, new_config)
+
+    def _propose_config(
+        self, change: str, subject: str, new_config: MembershipConfig
+    ) -> tuple[OpId, SimFuture]:
+        wire = new_config.to_wire()
+        factory = self.hooks.config_payload(change, subject, wire)
+        self._trace("raft.config_change", change=change, subject=subject)
+        return self.propose(factory, ENTRY_KIND_CONFIG, metadata=wire)
+
+    def _adopt_config_from(self, entry: LogEntry) -> None:
+        self.membership = MembershipConfig.from_wire(entry.metadata, entry.opid.index)
+        self_member = self.membership.member(self.name)
+        self._is_voter = self_member.is_voter if self_member else False
+        if self.leader_state is not None:
+            now = self.host.loop.now
+            for member in self.membership.peers_of(self.name):
+                self.leader_state.ensure_peer(member.name, now)
+            for tracked in list(self.leader_state.peers):
+                if tracked not in self.membership:
+                    self.leader_state.drop_peer(tracked)
+
+    # ----------------------------------------------------------- replication
+
+    def _schedule_heartbeat(self) -> None:
+        if not self.is_leader:
+            return
+        self.host.call_after(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if not self.is_leader:
+            return
+        # The leader is its own evidence of a live leader: keep the
+        # stickiness window open so it denies disruptive vote requests.
+        self._last_leader_contact = self.host.loop.now
+        self._replicate_all(force=True)
+        self._schedule_heartbeat()
+
+    def _replicate_all(self, force: bool) -> None:
+        if self.leader_state is None:
+            return
+        for member in self.membership.peers_of(self.name):
+            self._replicate_to(member.name, force=force)
+
+    def _replicate_to(self, peer: str, force: bool) -> None:
+        state = self.leader_state
+        if state is None:
+            return
+        now = self.host.loop.now
+        progress = state.ensure_peer(peer, now)
+        last = self.last_opid.index
+        retry_elapsed = now - progress.last_sent_time >= self.config.append_retry_interval
+
+        if progress.next_index > last:
+            if not force:
+                return
+            start = last + 1  # pure heartbeat
+        elif retry_elapsed:
+            start = progress.next_index  # (re)send from what's unacked
+        elif progress.last_sent_index < last:
+            start = max(progress.next_index, progress.last_sent_index + 1)  # pipeline new tail
+        elif force:
+            start = last + 1  # heartbeat carrying the commit marker
+        else:
+            return
+
+        prev_index = start - 1
+        prev_term = self._term_at(prev_index)
+        if prev_term is None:
+            # Peer is so far behind that our log was purged below its
+            # next_index; resend from the oldest we have.
+            start = self.storage.first_index()
+            prev_index = start - 1
+            prev_term = self._term_at(prev_index) or 0
+        entries = tuple(
+            self._entries_for_send(
+                start, self.config.max_entries_per_append, self.config.max_bytes_per_append
+            )
+        )
+        request = AppendEntriesRequest(
+            term=self.current_term,
+            leader=self.name,
+            prev_opid=OpId(prev_term, prev_index),
+            commit_opid=self.commit_opid,
+            entries=entries,
+            final_dest=peer,
+        )
+        if entries:
+            progress.last_sent_index = entries[-1].opid.index
+        progress.last_sent_time = now
+        self._dispatch_append(peer, request)
+
+    def _entries_for_send(self, start: int, max_entries: int, max_bytes: int) -> list[LogEntry]:
+        """Serve from the in-memory cache; fall back to the log
+        abstraction (parsing historical binlog files) on a miss (§3.1)."""
+        entries: list[LogEntry] = []
+        total = 0
+        index = start
+        while len(entries) < max_entries:
+            entry = self.cache.get(index)
+            if entry is None:
+                try:
+                    entry = self.storage.entry(index)
+                except LogTruncatedError:
+                    break
+            if entry is None:
+                break
+            if entries and total + entry.size_bytes > max_bytes:
+                break
+            entries.append(entry)
+            total += entry.size_bytes
+            index += 1
+        return entries
+
+    # -- proxy-aware dispatch (§4.2) ------------------------------------------------
+
+    def _dispatch_append(self, dst: str, request: AppendEntriesRequest) -> None:
+        if (
+            self.config.enable_proxying
+            and self.router is not None
+            and request.entries  # heartbeats go direct: tiny anyway
+        ):
+            chain = self.router.chain_for(self.name, dst, self.membership)
+            if chain and self._proxy_is_healthy(chain[0]):
+                proxied = AppendEntriesRequest(
+                    term=request.term,
+                    leader=request.leader,
+                    prev_opid=request.prev_opid,
+                    commit_opid=request.commit_opid,
+                    entries=(),
+                    proxy_opids=tuple(e.opid for e in request.entries),
+                    final_dest=dst,
+                    route=tuple(chain[1:]),
+                    return_path=(),
+                )
+                self.host.send(chain[0], proxied)
+                return
+        self.host.send(dst, request)
+
+    def _proxy_is_healthy(self, proxy: str) -> bool:
+        """Route-around check (§4.2.3): a proxy that hasn't acked us
+        recently is presumed down and bypassed."""
+        if self.leader_state is None:
+            return False
+        progress = self.leader_state.peers.get(proxy)
+        if progress is None:
+            return False
+        return (
+            self.host.loop.now - progress.last_ack_time
+            <= self.config.proxy_health_timeout
+        )
+
+    def _handle_proxy_forward(self, src: str, request: AppendEntriesRequest) -> None:
+        """We are a proxy hop for this message.
+
+        Intermediate hops relay the message untouched (PROXY_OP stays
+        metadata-only); the *final* proxy — the last hop before the
+        destination — reconstitutes the payload from its local log, or
+        degrades to a heartbeat if it can't (§4.2.1).
+        """
+        if request.route:
+            # Not the final hop: relay and record ourselves on the return
+            # path so the response can travel back up.
+            self.host.send(
+                request.route[0],
+                AppendEntriesRequest(
+                    term=request.term,
+                    leader=request.leader,
+                    prev_opid=request.prev_opid,
+                    commit_opid=request.commit_opid,
+                    entries=request.entries,
+                    proxy_opids=request.proxy_opids,
+                    final_dest=request.final_dest,
+                    route=request.route[1:],
+                    return_path=request.return_path + (self.name,),
+                ),
+            )
+            return
+        if not request.is_proxy_op:
+            # Already carries its payload (e.g. leader bypassed the chain
+            # mid-route-change): deliver as-is.
+            self.host.send(
+                request.final_dest,
+                AppendEntriesRequest(
+                    term=request.term,
+                    leader=request.leader,
+                    prev_opid=request.prev_opid,
+                    commit_opid=request.commit_opid,
+                    entries=request.entries,
+                    final_dest=request.final_dest,
+                    return_path=request.return_path + (self.name,),
+                ),
+            )
+            return
+        entries = []
+        missing = None
+        for opid in request.proxy_opids:
+            entry = self.cache.get(opid.index)
+            if entry is None:
+                try:
+                    entry = self.storage.entry(opid.index)
+                except LogTruncatedError:
+                    entry = None
+            if entry is None or entry.opid != opid:
+                missing = opid
+                break
+            entries.append(entry)
+        if missing is not None:
+            self._wait_then_forward(src, request, deadline=self.host.loop.now
+                                    + self.config.proxy_wait_timeout)
+            return
+        self._forward_reconstituted(src, request, tuple(entries))
+
+    def _wait_then_forward(
+        self, src: str, request: AppendEntriesRequest, deadline: float
+    ) -> None:
+        """§4.2.1: wait a configurable period for the missing entry to
+        arrive locally; re-check as our own log grows; degrade to a
+        heartbeat at the deadline."""
+        pending = {"src": src, "request": request, "deadline": deadline}
+        self._pending_proxy.append(pending)
+        self.host.call_after(
+            max(0.0, deadline - self.host.loop.now), self._expire_proxy_wait, pending
+        )
+
+    def _expire_proxy_wait(self, pending: dict) -> None:
+        if pending not in self._pending_proxy:
+            return
+        self._pending_proxy.remove(pending)
+        request = pending["request"]
+        self.metrics["proxy_degrades"] += 1
+        self._trace("raft.proxy_degraded", dest=request.final_dest)
+        degraded = AppendEntriesRequest(
+            term=request.term,
+            leader=request.leader,
+            prev_opid=request.prev_opid,
+            commit_opid=request.commit_opid,
+            entries=(),
+            proxy_opids=(),
+            final_dest=request.final_dest,
+            route=request.route,
+            return_path=request.return_path + (self.name,),
+        )
+        self._send_along_route(degraded)
+
+    def _retry_pending_proxies(self) -> None:
+        """Called when our local log grows: satisfy waiting proxy ops."""
+        still_waiting: list[dict] = []
+        for pending in self._pending_proxy:
+            request = pending["request"]
+            available = all(
+                self._have_entry(opid) for opid in request.proxy_opids
+            )
+            if available:
+                entries = tuple(
+                    self.cache.get(opid.index) or self.storage.entry(opid.index)
+                    for opid in request.proxy_opids
+                )
+                self._forward_reconstituted(pending["src"], request, entries)
+            else:
+                still_waiting.append(pending)
+        self._pending_proxy = still_waiting
+
+    def _have_entry(self, opid: OpId) -> bool:
+        entry = self.cache.get(opid.index)
+        if entry is None:
+            try:
+                entry = self.storage.entry(opid.index)
+            except LogTruncatedError:
+                return False
+        return entry is not None and entry.opid == opid
+
+    def _forward_reconstituted(
+        self, src: str, request: AppendEntriesRequest, entries: tuple
+    ) -> None:
+        self.metrics["proxy_forwards"] += 1
+        forwarded = AppendEntriesRequest(
+            term=request.term,
+            leader=request.leader,
+            prev_opid=request.prev_opid,
+            commit_opid=request.commit_opid,
+            entries=entries,
+            proxy_opids=(),
+            final_dest=request.final_dest,
+            route=request.route,
+            return_path=request.return_path + (self.name,),
+        )
+        self._send_along_route(forwarded)
+
+    def _send_along_route(self, request: AppendEntriesRequest) -> None:
+        if request.route:
+            next_hop = request.route[0]
+            self.host.send(
+                next_hop,
+                AppendEntriesRequest(
+                    term=request.term,
+                    leader=request.leader,
+                    prev_opid=request.prev_opid,
+                    commit_opid=request.commit_opid,
+                    entries=request.entries,
+                    proxy_opids=request.proxy_opids,
+                    final_dest=request.final_dest,
+                    route=request.route[1:],
+                    return_path=request.return_path,
+                ),
+            )
+        else:
+            self.host.send(request.final_dest, request)
+
+    # -- AppendEntries (the receiving side) ----------------------------------------
+
+    def _handle_append_entries(self, src: str, request: AppendEntriesRequest) -> None:
+        if request.final_dest and request.final_dest != self.name:
+            self._handle_proxy_forward(src, request)
+            return
+        if request.is_proxy_op:
+            # A PROXY_OP that reached its destination unreconstituted is a
+            # protocol bug; treat as heartbeat-with-unknown-entries.
+            request = AppendEntriesRequest(
+                term=request.term,
+                leader=request.leader,
+                prev_opid=request.prev_opid,
+                commit_opid=request.commit_opid,
+                final_dest=self.name,
+                return_path=request.return_path,
+            )
+
+        if request.term < self.current_term:
+            self._respond_append(request, success=False, ack_index=0)
+            return
+        if request.term > self.current_term or self.role != RaftRole.FOLLOWER:
+            if self.role == RaftRole.LEARNER and request.term >= self.current_term:
+                if request.term > self.current_term:
+                    self._set_term(request.term)
+                self.leader_id = request.leader
+                self._learn_leader(request.term, request.leader)
+            else:
+                self._step_down(request.term, leader=request.leader)
+        else:
+            self.leader_id = request.leader
+            self._learn_leader(request.term, request.leader)
+        self._last_leader_contact = self.host.loop.now
+        self._reset_election_timer()
+
+        # Log consistency check on prev_opid.
+        prev = request.prev_opid
+        local_prev_term = self._term_at(prev.index)
+        if local_prev_term is None or (prev.index > 0 and local_prev_term != prev.term):
+            self._respond_append(request, success=False, ack_index=0)
+            return
+
+        appended = self._append_from_leader(prev, list(request.entries))
+        ack_index = prev.index + len(request.entries)
+        total_bytes = sum(e.size_bytes for e in request.entries)
+        self._advance_follower_commit(min(request.commit_opid.index, ack_index))
+        delay = self.timing.log_append_delay(total_bytes) if appended else 0.0
+        if delay > 0:
+            self.host.call_after(
+                delay, self._respond_append, request, True, ack_index
+            )
+        else:
+            self._respond_append(request, success=True, ack_index=ack_index)
+
+    def _append_from_leader(self, prev: OpId, entries: list[LogEntry]) -> bool:
+        """Append entries after ``prev``, truncating conflicts. Returns
+        whether anything was written."""
+        to_append: list[LogEntry] = []
+        for entry in entries:
+            local_term = self._term_at(entry.opid.index)
+            if local_term is None:
+                to_append.append(entry)
+            elif local_term != entry.opid.term:
+                removed = self.storage.truncate_from(entry.opid.index)
+                self.cache.truncate_from(entry.opid.index)
+                self._trace("raft.truncated", from_index=entry.opid.index, count=len(removed))
+                self.hooks.on_truncated(removed)
+                self.membership = self._rebuild_membership()
+                to_append.append(entry)
+            # else: duplicate of what we already have; skip.
+        if not to_append:
+            return False
+        self.storage.append(to_append)
+        for entry in to_append:
+            self.cache.put(entry)
+            if entry.kind == ENTRY_KIND_CONFIG:
+                self._adopt_config_from(entry)
+        self.hooks.on_entries_appended(to_append, from_leader=True)
+        self._retry_pending_proxies()
+        return True
+
+    def _advance_follower_commit(self, index: int) -> None:
+        if index > self.commit_index:
+            self.commit_index = index
+            self.hooks.on_commit_advance(self.commit_opid)
+
+    def _respond_append(
+        self, request: AppendEntriesRequest, success: bool, ack_index: int
+    ) -> None:
+        ack_term = self._term_at(ack_index) if success else None
+        response = AppendEntriesResponse(
+            term=self.current_term,
+            follower=self.name,
+            success=success,
+            last_opid=OpId(ack_term or 0, ack_index) if success else self.last_opid,
+            leader=request.leader,
+            return_path=request.return_path,
+        )
+        if response.return_path:
+            self.host.send(response.return_path[-1], response.popped())
+        else:
+            self.host.send(request.leader, response)
+
+    def _handle_append_response(self, src: str, response: AppendEntriesResponse) -> None:
+        # Proxied responses travel back up the return path to the leader
+        # (§4.2.1); intermediate hops just relay.
+        if response.leader and response.leader != self.name:
+            if response.return_path:
+                self.host.send(response.return_path[-1], response.popped())
+            else:
+                self.host.send(response.leader, response)
+            return
+        if not self.is_leader or self.leader_state is None:
+            return
+        if response.term > self.current_term:
+            self._step_down(response.term, leader=None)
+            return
+        now = self.host.loop.now
+        progress = self.leader_state.ensure_peer(response.follower, now)
+        if response.success:
+            progress.acked(response.last_opid.index, now)
+            self._maybe_advance_commit()
+            # Send more only if unsent entries remain; force=False avoids
+            # answering every ack with an empty heartbeat (which would
+            # ping-pong forever).
+            if progress.next_index <= self.last_opid.index:
+                self._replicate_to(response.follower, force=False)
+            self._maybe_complete_transfer(response.follower)
+        else:
+            progress.last_ack_time = now
+            progress.next_index = max(
+                1, min(progress.next_index - 1, response.last_opid.index + 1)
+            )
+            progress.last_sent_index = 0
+            progress.last_sent_time = -1e9
+            self._replicate_to(response.follower, force=True)
+
+    def _maybe_advance_commit(self) -> None:
+        if self.leader_state is None:
+            return
+        new_commit = self.leader_state.advance_commit(
+            self.commit_index,
+            self._effective_policy(),
+            self.membership,
+            lambda index: self._term_at(index),
+        )
+        if new_commit > self.commit_index:
+            self.commit_index = new_commit
+            self._trace("raft.commit_advance", index=new_commit)
+            self.hooks.on_commit_advance(self.commit_opid)
+            self._resolve_proposals(new_commit)
+
+    def _resolve_proposals(self, commit_index: int) -> None:
+        ready = [index for index in self._pending_proposals if index <= commit_index]
+        for index in sorted(ready):
+            future = self._pending_proposals.pop(index)
+            term = self._term_at(index) or 0
+            future.resolve_if_pending(OpId(term, index))
+
+    # -------------------------------------------------- transfer of leadership
+
+    def transfer_leadership(self, target: str) -> SimFuture:
+        """Graceful promotion (§2.2): optionally mock-elect, wait for the
+        target to catch up, then TimeoutNow. Resolves True on handoff."""
+        future = SimFuture(self.host.loop, label=f"transfer->{target}")
+        if not self.is_leader or self.leader_state is None:
+            future.fail(NotLeaderError(f"{self.name} is not leader"))
+            return future
+        if target == self.name or target not in self.membership:
+            future.fail(RaftError(f"invalid transfer target {target!r}"))
+            return future
+        member = self.membership.member(target)
+        if not member.is_voter:
+            future.fail(RaftError(f"transfer target {target!r} is not a voter"))
+            return future
+        if self._pending_transfer is not None and not self._pending_transfer.done():
+            future.fail(RaftError("a transfer is already in progress"))
+            return future
+        self.metrics["transfers_initiated"] += 1
+        self._pending_transfer = future
+        self._transfer_target = target
+        self._trace("raft.transfer_started", target=target)
+        if self.config.enable_mock_election:
+            self._start_mock_election(target)
+        else:
+            self._continue_transfer(target)
+        return future
+
+    def _start_mock_election(self, target: str) -> None:
+        """§4.3: before quiescing anything, ask the target to run a mock
+        pre-election with a snapshot of our cursor."""
+        self.metrics["mock_elections"] += 1
+        cursor = self.last_opid
+        self._trace("raft.mock_election_requested", target=target, cursor=str(cursor))
+        self.host.send(
+            target,
+            MockElectionRequest(term=self.current_term, leader=self.name, cursor=cursor),
+        )
+        self.host.call_after(
+            self.config.mock_election_timeout, self._mock_election_expired, target,
+            self.current_term,
+        )
+
+    def _mock_election_expired(self, target: str, term: int) -> None:
+        if (
+            self._pending_transfer is not None
+            and not self._pending_transfer.done()
+            and self._transfer_target == target
+            and self.current_term == term
+            and not self._mock_completed_for_transfer
+        ):
+            self._trace("raft.mock_election_timeout", target=target)
+            self._finish_transfer(False, "mock election timed out")
+
+    def _handle_mock_election_request(self, src: str, request: MockElectionRequest) -> None:
+        """We are the intended new leader: run a mock vote round."""
+        if request.term < self.current_term:
+            self.host.send(
+                src,
+                MockElectionResult(
+                    term=self.current_term, candidate=self.name, won=False, reason="stale term"
+                ),
+            )
+            return
+        self._mock_tally = VoteTally(term=request.term + 1)
+        self._mock_tally.record(self.name, True)
+        self._mock_tally.learn_leader(
+            self.last_known_leader_term, self.last_known_leader_region
+        )
+        self._mock_reply_to = src
+        vote_request = RequestVoteRequest(
+            term=request.term + 1,
+            candidate=self.name,
+            last_opid=request.cursor,
+            is_pre_vote=True,
+            is_mock=True,
+            cursor=request.cursor,
+        )
+        self._broadcast_to_voters(vote_request)
+        self.host.call_after(
+            self.config.mock_election_timeout * 0.8, self._mock_round_expired, request.term
+        )
+        self._check_mock_quorum()
+
+    def _mock_round_expired(self, term: int) -> None:
+        if self._mock_tally is not None and self._mock_reply_to is not None:
+            self._finish_mock_round(won=False, reason="mock votes timed out")
+
+    def _handle_mock_vote(self, src: str, req: RequestVoteRequest) -> None:
+        """Voter side of a mock election (§4.3): the modified rule rejects
+        the vote when *we* lag the cursor and share the candidate's
+        region — lagging in-region members would stall the new leader's
+        commit quorum."""
+        candidate_member = self.membership.member(req.candidate)
+        reason = "ok"
+        granted = True
+        if req.term <= self.current_term:
+            granted, reason = False, "stale term"
+        elif candidate_member is None:
+            granted, reason = False, "unknown candidate"
+        else:
+            self_member = self.membership.member(self.name)
+            same_region = (
+                self_member is not None and self_member.region == candidate_member.region
+            )
+            # "Lagging" means unhealthy, not merely trailing the cursor by
+            # in-flight replication: silent beyond the failure-detection
+            # window, or behind by a pathological number of entries.
+            stale_contact = (
+                self.host.loop.now - self._last_leader_contact
+                > self.config.election_timeout_base()
+            )
+            behind = req.cursor is not None and self.last_opid < req.cursor
+            far_behind = (
+                req.cursor is not None
+                and req.cursor.index - self.last_opid.index
+                > self.config.mock_election_max_lag_entries
+            )
+            if same_region and behind and (stale_contact or far_behind):
+                granted, reason = False, "lagging in candidate region"
+        self._trace("raft.mock_vote", candidate=req.candidate, granted=granted, reason=reason)
+        self.host.send(
+            src,
+            RequestVoteResponse(
+                term=self.current_term,
+                voter=self.name,
+                granted=granted,
+                is_pre_vote=True,
+                is_mock=True,
+                reason=reason,
+                last_leader_term=self.last_known_leader_term,
+                last_leader_region=self.last_known_leader_region,
+            ),
+        )
+
+    def _handle_mock_vote_response(self, src: str, resp: RequestVoteResponse) -> None:
+        if self._mock_tally is None:
+            return
+        self._mock_tally.record(resp.voter, resp.granted)
+        self._mock_tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+        self._check_mock_quorum()
+
+    def _check_mock_quorum(self) -> None:
+        tally = self._mock_tally
+        if tally is None:
+            return
+        if self._effective_policy().election_quorum_satisfied(
+            frozenset(tally.granted), self.membership, self._election_context(tally)
+        ):
+            self._finish_mock_round(won=True, reason="quorum")
+
+    def _finish_mock_round(self, won: bool, reason: str) -> None:
+        reply_to = self._mock_reply_to
+        self._mock_tally = None
+        self._mock_reply_to = None
+        if reply_to is not None:
+            self.host.send(
+                reply_to,
+                MockElectionResult(
+                    term=self.current_term, candidate=self.name, won=won, reason=reason
+                ),
+            )
+
+    def _handle_mock_election_result(self, src: str, result: MockElectionResult) -> None:
+        if (
+            self._pending_transfer is None
+            or self._pending_transfer.done()
+            or self._transfer_target != result.candidate
+        ):
+            return
+        self._trace(
+            "raft.mock_election_result", target=result.candidate, won=result.won,
+            reason=result.reason,
+        )
+        if result.won:
+            self._mock_completed_for_transfer = True
+            self._continue_transfer(result.candidate)
+        else:
+            self._finish_transfer(False, f"mock election lost: {result.reason}")
+
+    def _continue_transfer(self, target: str) -> None:
+        """Mock round passed (or disabled): quiesce, replicate until the
+        target is caught up to the now-fixed tail, then TimeoutNow."""
+        if not self.is_leader or self.leader_state is None:
+            self._finish_transfer(False, "lost leadership mid-transfer")
+            return
+        # Quiesce: stop accepting new writes so the tail stops moving.
+        # This is where graceful-promotion client downtime begins (§4.3).
+        self.hooks.on_transfer_quiesce()
+        self.host.call_after(
+            self.config.transfer_catchup_timeout,
+            self._transfer_catchup_expired,
+            target,
+            self.current_term,
+        )
+        self._replicate_to(target, force=True)
+        self._maybe_complete_transfer(target)
+
+    def _transfer_catchup_expired(self, target: str, term: int) -> None:
+        if (
+            self._pending_transfer is not None
+            and not self._pending_transfer.done()
+            and self._transfer_target == target
+            and self.current_term == term
+        ):
+            self._trace("raft.transfer_catchup_timeout", target=target)
+            self._finish_transfer(False, "target did not catch up in time")
+
+    def _maybe_complete_transfer(self, acked_peer: str) -> None:
+        if (
+            self._pending_transfer is None
+            or self._pending_transfer.done()
+            or acked_peer != self._transfer_target
+            or self.leader_state is None
+        ):
+            return
+        if self._mock_tally is not None:
+            return
+        if self.config.enable_mock_election and not self._mock_completed_for_transfer:
+            return
+        if self.leader_state.match_of(acked_peer) >= self.last_opid.index:
+            self._trace("raft.timeout_now_sent", target=acked_peer)
+            self.host.send(acked_peer, TimeoutNowRequest(term=self.current_term, leader=self.name))
+            self._finish_transfer(True, "timeout-now sent")
+
+    def _finish_transfer(self, ok: bool, reason: str) -> None:
+        future = self._pending_transfer
+        self._pending_transfer = None
+        self._transfer_target = None
+        was_quiesced = self._mock_completed_for_transfer or not self.config.enable_mock_election
+        self._mock_completed_for_transfer = False
+        if not ok and self.is_leader and was_quiesced:
+            # The transfer failed but we are still the leader: resume.
+            self.hooks.on_transfer_unquiesce()
+        if future is not None:
+            future.resolve_if_pending(ok)
+
+    def _handle_timeout_now(self, src: str, request: TimeoutNowRequest) -> None:
+        if request.term < self.current_term or not self._is_voter:
+            return
+        self._trace("raft.timeout_now_received", from_leader=src)
+        self.start_election(is_transfer=True)
+
+    # --------------------------------------------------------- quorum fixer
+
+    def force_quorum(self, sufficient_voters: frozenset) -> None:
+        """§5.3 step 3: override election quorum expectations so a chosen
+        member can win despite a shattered quorum."""
+        from repro.raft.quorum import ForcedQuorum
+
+        self._quorum_override = ForcedQuorum(self.policy, sufficient_voters)
+        self._trace("raft.quorum_forced", sufficient=sorted(sufficient_voters))
+
+    def clear_quorum_override(self) -> None:
+        """§5.3 step 4: restore normal quorum expectations."""
+        self._quorum_override = None
+        self._trace("raft.quorum_override_cleared")
+
+    # -------------------------------------------------------------- dispatch
+
+    def handle_message(self, src: str, message: Any) -> None:
+        if isinstance(message, AppendEntriesRequest):
+            self._handle_append_entries(src, message)
+        elif isinstance(message, AppendEntriesResponse):
+            self._handle_append_response(src, message)
+        elif isinstance(message, RequestVoteRequest):
+            self._handle_request_vote(src, message)
+        elif isinstance(message, RequestVoteResponse):
+            self._handle_vote_response(src, message)
+        elif isinstance(message, TimeoutNowRequest):
+            self._handle_timeout_now(src, message)
+        elif isinstance(message, MockElectionRequest):
+            self._handle_mock_election_request(src, message)
+        elif isinstance(message, MockElectionResult):
+            self._handle_mock_election_result(src, message)
+        else:
+            raise RaftError(f"{self.name}: unknown message {type(message).__name__}")
+
+    # ------------------------------------------------------------- bootstrap
+
+    def bootstrap_as_initial_leader(self) -> None:
+        """Skip the first natural election when assembling a fresh ring
+        (what enable-raft does after stopping writes, §5.2)."""
+        if self.current_term != 0 or not self.storage.is_empty():
+            raise RaftError("bootstrap requires a fresh node")
+        if not self._is_voter:
+            raise RaftError("bootstrap leader must be a voter")
+        self._set_term(1)
+        self._record_vote(1, self.name)
+        self.role = RaftRole.CANDIDATE
+        self._become_leader()

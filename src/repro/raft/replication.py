@@ -1,0 +1,146 @@
+"""Leader-side replication bookkeeping.
+
+Per-peer progress (next/match indexes, ack freshness) plus the
+commit-marker advance: after every ack the leader asks the quorum policy
+which indexes are now consensus-committed. Proxying (§4.2.1) keeps *all*
+of this on the leader — proxies carry no bookkeeping — which is what
+keeps the design "effectively standard Raft from a safety perspective".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.raft.membership import MembershipConfig
+from repro.raft.quorum import QuorumPolicy, majority_count
+from repro.raft.types import OpId
+
+
+@dataclass
+class PeerProgress:
+    """What the leader believes about one peer."""
+
+    next_index: int
+    match_index: int = 0
+    last_ack_time: float = 0.0
+    last_sent_index: int = 0
+    last_sent_time: float = -1e9
+
+    def acked(self, index: int, now: float) -> None:
+        self.match_index = max(self.match_index, index)
+        self.next_index = max(self.next_index, self.match_index + 1)
+        self.last_ack_time = now
+
+
+@dataclass
+class LeaderState:
+    """All volatile leader bookkeeping; created on election, discarded on
+    step-down."""
+
+    term: int
+    self_name: str
+    last_log_index: int
+    peers: dict[str, PeerProgress] = field(default_factory=dict)
+
+    @classmethod
+    def fresh(
+        cls, term: int, self_name: str, config: MembershipConfig, last_log_index: int, now: float
+    ) -> "LeaderState":
+        state = cls(term=term, self_name=self_name, last_log_index=last_log_index)
+        for member in config.peers_of(self_name):
+            state.peers[member.name] = PeerProgress(
+                next_index=last_log_index + 1, last_ack_time=now
+            )
+        return state
+
+    def ensure_peer(self, name: str, now: float) -> PeerProgress:
+        """Track a peer added by a mid-term membership change."""
+        if name not in self.peers:
+            self.peers[name] = PeerProgress(next_index=self.last_log_index + 1, last_ack_time=now)
+        return self.peers[name]
+
+    def drop_peer(self, name: str) -> None:
+        self.peers.pop(name, None)
+
+    def match_of(self, name: str) -> int:
+        if name == self.self_name:
+            return self.last_log_index
+        progress = self.peers.get(name)
+        return progress.match_index if progress else 0
+
+    def ackers_at(self, index: int) -> frozenset:
+        """Voter-or-not names known to hold entries through ``index``
+        (the caller intersects with voters)."""
+        names = {self.self_name} if self.last_log_index >= index else set()
+        names.update(name for name, p in self.peers.items() if p.match_index >= index)
+        return frozenset(names)
+
+    def advance_commit(
+        self,
+        current_commit: int,
+        policy: QuorumPolicy,
+        config: MembershipConfig,
+        term_at: "callable",
+    ) -> int:
+        """Highest index committable under ``policy``.
+
+        Standard Raft restriction applies: only entries of the current
+        term commit by counting acks; earlier-term entries commit
+        transitively once a current-term entry does.
+        """
+        new_commit = current_commit
+        index = current_commit + 1
+        while index <= self.last_log_index:
+            if not policy.data_quorum_satisfied(self.self_name, self.ackers_at(index), config):
+                break
+            if term_at(index) == self.term:
+                new_commit = index
+            index += 1
+        return new_commit
+
+    def most_caught_up_peer(self, candidates: list[str]) -> str | None:
+        """The candidate with the highest match index (ties: first)."""
+        best_name, best_match = None, -1
+        for name in candidates:
+            match = self.match_of(name)
+            if match > best_match:
+                best_name, best_match = name, match
+        return best_name
+
+    def region_watermark(self, region: str, config: MembershipConfig) -> int:
+        """Highest index held by a majority of the region's voters —
+        the per-region watermark used for commit decisions and purge
+        heuristics (§4.1, §A.1)."""
+        region_voters = config.voters_in_region(region)
+        if not region_voters:
+            return self.last_log_index  # vacuous: nothing to wait for
+        matches = sorted((self.match_of(m.name) for m in region_voters), reverse=True)
+        return matches[majority_count(len(matches)) - 1]
+
+    def min_region_watermark(self, config: MembershipConfig) -> int:
+        """The slowest region's watermark: safe global purge horizon."""
+        return min(self.region_watermark(region, config) for region in config.regions())
+
+
+@dataclass
+class VoteTally:
+    """Vote bookkeeping for one election round (real, pre, or mock)."""
+
+    term: int
+    granted: set = field(default_factory=set)
+    denied: set = field(default_factory=set)
+    # Best leader knowledge gathered from responses (FlexiRaft history).
+    best_leader_term: int = 0
+    best_leader_region: str | None = None
+
+    def record(self, voter: str, was_granted: bool) -> None:
+        if was_granted:
+            self.granted.add(voter)
+            self.denied.discard(voter)
+        elif voter not in self.granted:
+            self.denied.add(voter)
+
+    def learn_leader(self, term: int, region: str | None) -> None:
+        if region is not None and term > self.best_leader_term:
+            self.best_leader_term = term
+            self.best_leader_region = region

@@ -1,0 +1,78 @@
+"""Core Raft value types: OpId, roles, member types.
+
+This module is dependency-free so that both the Raft core and the MySQL
+substrate (whose binlog events carry OpIds, §3) can import it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class OpId:
+    """Raft log position: (term, index). Every MyRaft transaction gets one.
+
+    Ordering is lexicographic on (term, index), which matches Raft's
+    log-recency comparison for elections.
+    """
+
+    term: int
+    index: int
+
+    def next_index(self) -> "OpId":
+        return OpId(self.term, self.index + 1)
+
+    @classmethod
+    def zero(cls) -> "OpId":
+        """The position before the first entry."""
+        return cls(0, 0)
+
+    def __str__(self) -> str:
+        return f"{self.term}.{self.index}"
+
+    @classmethod
+    def parse(cls, text: str) -> "OpId":
+        term, _, index = text.partition(".")
+        return cls(int(term), int(index))
+
+
+class RaftRole(enum.Enum):
+    """Protocol role of a ring member."""
+
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+    LEARNER = "learner"
+
+
+class MemberType(enum.Enum):
+    """Voting capability (Table 1): voters elect leaders, non-voters don't."""
+
+    VOTER = "voter"
+    NON_VOTER = "non_voter"
+
+
+@dataclass(frozen=True)
+class MemberInfo:
+    """Static description of one ring member.
+
+    ``has_storage_engine`` distinguishes MySQL instances from logtailers
+    (witnesses): logtailers are voters with a log but no database, so they
+    can win elections only as *temporary* leaders that immediately
+    transfer leadership away (§2.2, §4.1).
+    """
+
+    name: str
+    region: str
+    member_type: MemberType
+    has_storage_engine: bool = True
+
+    @property
+    def is_voter(self) -> bool:
+        return self.member_type == MemberType.VOTER
+
+    @property
+    def is_witness(self) -> bool:
+        return self.is_voter and not self.has_storage_engine

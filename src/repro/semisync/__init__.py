@@ -1,0 +1,21 @@
+"""The prior setup (§1, §6): MySQL semi-synchronous replication with
+external control-plane automation.
+
+- The primary commits after one in-region logtailer (semi-sync acker)
+  acknowledges the transaction; other replicas receive it asynchronously.
+- Failure detection and failover/promotion are orchestrated by processes
+  *outside* the server (:mod:`~repro.semisync.automation`), which is the
+  source of the minute-scale failover times in the paper's Table 2.
+"""
+
+from repro.semisync.automation import FailoverAutomation, SemiSyncAutomationConfig
+from repro.semisync.replicaset import SemiSyncReplicaset
+from repro.semisync.server import SemiSyncAcker, SemiSyncServer
+
+__all__ = [
+    "FailoverAutomation",
+    "SemiSyncAcker",
+    "SemiSyncAutomationConfig",
+    "SemiSyncReplicaset",
+    "SemiSyncServer",
+]

@@ -1,0 +1,90 @@
+"""Wire messages for the semi-sync data path and the control plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+RPC_HEADER_BYTES = 64
+PER_ENTRY_OVERHEAD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ShipEntries:
+    """Primary → acker/replica: a batch of (generation, seq, payload).
+
+    ``prev_seq`` lets the receiver detect gaps and request a resend.
+    """
+
+    generation: int
+    prev_seq: int
+    entries: tuple  # tuple[(seq, payload_bytes), ...]
+    primary: str
+
+    @property
+    def wire_size(self) -> int:
+        return RPC_HEADER_BYTES + sum(
+            PER_ENTRY_OVERHEAD_BYTES + len(payload) for _, payload in self.entries
+        )
+
+    def last_seq(self) -> int:
+        return self.entries[-1][0] if self.entries else self.prev_seq
+
+
+@dataclass(frozen=True)
+class ShipAck:
+    """Acker → primary: everything through ``acked_seq`` is on my disk."""
+
+    generation: int
+    acked_seq: int
+    acker: str
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ResendRequest:
+    """Receiver → primary: I have a gap; resend from ``from_seq``."""
+
+    from_seq: int
+    requester: str
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class HealthPing:
+    probe_id: int
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class HealthPong:
+    probe_id: int
+    responder: str
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """Automation → member: an orchestration command.
+
+    Commands: ``report_position``, ``set_read_only``, ``promote``,
+    ``repoint``, ``demote_to_replica``, ``fetch_tail``, ``add_replica``.
+    """
+
+    request_id: int
+    command: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ControlReply:
+    request_id: int
+    ok: bool
+    data: dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+
+    wire_size: int = RPC_HEADER_BYTES

@@ -1,0 +1,293 @@
+"""Generator-based coroutines over the simulated event loop.
+
+Protocol code (commit pipelines, orchestration, tooling) is written as
+generators that yield *awaitables*:
+
+- ``yield sleep(loop, dt)`` — suspend for ``dt`` simulated seconds;
+- ``yield some_future`` — suspend until the :class:`SimFuture` resolves;
+  the ``yield`` expression evaluates to the future's result, or re-raises
+  the future's exception inside the generator.
+
+``loop.call_soon`` is used to resume, so a future resolved at time *t*
+continues its waiters at time *t* but strictly after already-queued events
+— the same happens-before order every run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimError, SimTimeoutError
+from repro.sim.loop import EventLoop
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+
+class SimFuture:
+    """A single-assignment result container bound to an event loop."""
+
+    __slots__ = ("_loop", "_state", "_value", "_callbacks", "label")
+
+    def __init__(self, loop: EventLoop, label: str = "") -> None:
+        self._loop = loop
+        self._state = _PENDING
+        self._value: Any = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+        self.label = label
+
+    @property
+    def loop(self) -> EventLoop:
+        return self._loop
+
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def failed(self) -> bool:
+        return self._state in (_FAILED, _CANCELLED)
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future successfully. Idempotence is an error: a
+        double-resolve indicates a protocol bug, so it raises."""
+        if self._state != _PENDING:
+            raise SimError(f"future {self.label!r} already {self._state}")
+        self._state = _RESOLVED
+        self._value = value
+        self._schedule_callbacks()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._state != _PENDING:
+            raise SimError(f"future {self.label!r} already {self._state}")
+        self._state = _FAILED
+        self._value = exc
+        self._schedule_callbacks()
+
+    def cancel(self) -> None:
+        """Cancel; waiters see a :class:`SimError`. No-op if already done."""
+        if self._state != _PENDING:
+            return
+        self._state = _CANCELLED
+        self._value = SimError(f"future {self.label!r} cancelled")
+        self._schedule_callbacks()
+
+    def resolve_if_pending(self, value: Any = None) -> bool:
+        """Resolve unless already done; returns whether it resolved now."""
+        if self._state != _PENDING:
+            return False
+        self.resolve(value)
+        return True
+
+    def fail_if_pending(self, exc: BaseException) -> bool:
+        if self._state != _PENDING:
+            return False
+        self.fail(exc)
+        return True
+
+    def result(self) -> Any:
+        """Return the result, re-raising on failure. Raises if pending."""
+        if self._state == _PENDING:
+            raise SimError(f"future {self.label!r} is still pending")
+        if self._state in (_FAILED, _CANCELLED):
+            raise self._value
+        return self._value
+
+    def exception(self) -> BaseException | None:
+        if self._state in (_FAILED, _CANCELLED):
+            return self._value
+        return None
+
+    def add_done_callback(self, fn: Callable[["SimFuture"], None]) -> None:
+        """Run ``fn(self)`` when the future completes (immediately via
+        ``call_soon`` if already complete)."""
+        if self._state != _PENDING:
+            self._loop.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _schedule_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._loop.call_soon(fn, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimFuture({self.label!r}, {self._state})"
+
+
+def sleep(loop: EventLoop, delay: float) -> SimFuture:
+    """A future that resolves after ``delay`` simulated seconds."""
+    future = SimFuture(loop, label=f"sleep({delay})")
+    loop.call_after(delay, future.resolve, None)
+    return future
+
+
+def all_of(loop: EventLoop, futures: Iterable[SimFuture]) -> SimFuture:
+    """Resolve with a list of results once every input resolves.
+
+    Fails fast: the first input failure fails the aggregate (remaining
+    results are discarded).
+    """
+    futures = list(futures)
+    aggregate = SimFuture(loop, label=f"all_of[{len(futures)}]")
+    if not futures:
+        aggregate.resolve([])
+        return aggregate
+    remaining = [len(futures)]
+
+    def on_done(_completed: SimFuture) -> None:
+        if aggregate.done():
+            return
+        exc = _completed.exception()
+        if exc is not None:
+            aggregate.fail_if_pending(exc)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            aggregate.resolve([f.result() for f in futures])
+
+    for f in futures:
+        f.add_done_callback(on_done)
+    return aggregate
+
+
+def any_of(loop: EventLoop, futures: Iterable[SimFuture]) -> SimFuture:
+    """Resolve with ``(index, result)`` of the first input to resolve.
+
+    Fails only if *all* inputs fail (with the last failure).
+    """
+    futures = list(futures)
+    if not futures:
+        raise SimError("any_of requires at least one future")
+    aggregate = SimFuture(loop, label=f"any_of[{len(futures)}]")
+    failures = [0]
+
+    def make_callback(index: int) -> Callable[[SimFuture], None]:
+        def on_done(completed: SimFuture) -> None:
+            if aggregate.done():
+                return
+            exc = completed.exception()
+            if exc is None:
+                aggregate.resolve_if_pending((index, completed.result()))
+            else:
+                failures[0] += 1
+                if failures[0] == len(futures):
+                    aggregate.fail_if_pending(exc)
+
+        return on_done
+
+    for i, f in enumerate(futures):
+        f.add_done_callback(make_callback(i))
+    return aggregate
+
+
+def with_timeout(loop: EventLoop, future: SimFuture, timeout: float) -> SimFuture:
+    """Wrap ``future`` with a deadline; fails with SimTimeoutError on expiry.
+
+    The underlying future is left untouched on timeout (it may resolve
+    later; its result is then ignored by this wrapper).
+    """
+    wrapped = SimFuture(loop, label=f"timeout({future.label}, {timeout})")
+    timer = loop.call_after(
+        timeout,
+        lambda: wrapped.fail_if_pending(
+            SimTimeoutError(f"timed out after {timeout}s waiting for {future.label!r}")
+        ),
+    )
+
+    def on_done(completed: SimFuture) -> None:
+        timer.cancel()
+        exc = completed.exception()
+        if exc is None:
+            wrapped.resolve_if_pending(completed.result())
+        else:
+            wrapped.fail_if_pending(exc)
+
+    future.add_done_callback(on_done)
+    return wrapped
+
+
+class Process(SimFuture):
+    """A running coroutine. Also a future for its return value.
+
+    The generator may yield:
+      - a :class:`SimFuture` (including another Process): suspends until it
+        completes; ``yield`` evaluates to its result or raises its error;
+      - a number: shorthand for ``sleep(loop, number)``.
+
+    ``liveness`` (optional) is checked before each resume; if it returns
+    False the process is killed silently — this is how host crashes stop
+    in-flight pipelines without unwinding through every frame.
+    """
+
+    __slots__ = ("_gen", "_liveness", "_killed")
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        gen: Generator[Any, Any, Any],
+        label: str = "",
+        liveness: Callable[[], bool] | None = None,
+    ) -> None:
+        super().__init__(loop, label=label or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._liveness = liveness
+        self._killed = False
+        loop.call_soon(self._advance, None, None)
+
+    def kill(self) -> None:
+        """Terminate the coroutine without resolving normally. Waiters see
+        a SimError (via cancellation)."""
+        if self.done():
+            return
+        self._killed = True
+        self._gen.close()
+        self.cancel()
+
+    def _advance(self, value: Any, exc: BaseException | None) -> None:
+        if self._killed or self.done():
+            return
+        if self._liveness is not None and not self._liveness():
+            self.kill()
+            return
+        try:
+            if exc is not None:
+                yielded = self._gen.throw(exc)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except Exception as err:  # noqa: BLE001 - propagate to waiters
+            self.fail(err)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            yielded = sleep(self._loop, float(yielded))
+        if not isinstance(yielded, SimFuture):
+            self._gen.close()
+            self.fail(SimError(f"process {self.label!r} yielded {type(yielded).__name__}"))
+            return
+        yielded.add_done_callback(self._on_waited)
+
+    def _on_waited(self, completed: SimFuture) -> None:
+        exc = completed.exception()
+        if exc is not None:
+            self._advance(None, exc)
+        else:
+            self._advance(completed.result(), None)
+
+
+def spawn(
+    loop: EventLoop,
+    gen: Generator[Any, Any, Any],
+    label: str = "",
+    liveness: Callable[[], bool] | None = None,
+) -> Process:
+    """Start ``gen`` as a coroutine on ``loop``."""
+    return Process(loop, gen, label=label, liveness=liveness)

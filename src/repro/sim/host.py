@@ -1,0 +1,184 @@
+"""Crash/restartable simulated hosts.
+
+A :class:`Host` owns one *service* (a Raft node, a MySQL server + plugin, a
+semi-sync primary, ...). Crashing a host:
+
+- makes it unreachable (in-flight deliveries drop on arrival);
+- cancels every timer and kills every coroutine the service created
+  through the host (nothing volatile survives);
+- bumps the incarnation counter, so stale callbacks from a previous life
+  can never fire into the new one;
+- preserves only the :class:`DurableStore` — the simulated disk.
+
+Services implement ``handle_message(src, message)`` and optionally
+``on_crash()`` / ``on_restart()`` hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import HostDownError, SimError
+from repro.sim.coro import Process, SimFuture
+from repro.sim.loop import EventLoop, Timer
+from repro.sim.network import Network
+from repro.sim.tracing import Tracer
+
+
+class DurableStore:
+    """The host's simulated disk: a namespaced key-value store.
+
+    Contents survive crashes. Values are stored by reference — services
+    must treat stored values as immutable or copy on write, mirroring how
+    a real system only trusts what it fsync'd.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict[str, Any]] = {}
+
+    def namespace(self, name: str) -> dict[str, Any]:
+        """A mutable dict scoped to ``name`` (created on first use)."""
+        return self._data.setdefault(name, {})
+
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        return self._data.get(namespace, {}).get(key, default)
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        self.namespace(namespace)[key] = value
+
+    def wipe(self) -> None:
+        """Destroy the disk (used to simulate host replacement)."""
+        self._data.clear()
+
+
+class Host:
+    """A network endpoint that can crash and restart."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        name: str,
+        region: str,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.name = name
+        self.region = region
+        self.tracer = tracer
+        self.alive = True
+        self.incarnation = 0
+        self.disk = DurableStore()
+        self.service: Any = None
+        self._timers: list[Timer] = []
+        self._processes: list[Process] = []
+        network.register(self)
+
+    # -- service wiring ----------------------------------------------------
+
+    def attach_service(self, service: Any) -> None:
+        if self.service is not None:
+            raise SimError(f"host {self.name!r} already has a service")
+        self.service = service
+
+    def replace_service(self, service: Any) -> None:
+        """Swap the running service (used by enable-raft mid-rollout)."""
+        self.service = service
+
+    def receive(self, src: str, message: Any) -> None:
+        if not self.alive or self.service is None:
+            return
+        self.service.handle_message(src, message)
+
+    def send(self, dst: str, message: Any) -> None:
+        if not self.alive:
+            raise HostDownError(f"host {self.name!r} is down")
+        self.network.send(self.name, dst, message)
+
+    # -- timers & processes (volatile; die with the host) -------------------
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule a callback that is squelched if the host crashes (or
+        crashes-and-restarts) before it fires."""
+        if not self.alive:
+            raise HostDownError(f"host {self.name!r} is down")
+        incarnation = self.incarnation
+
+        def guarded() -> None:
+            if self.alive and self.incarnation == incarnation:
+                callback(*args)
+
+        timer = self.loop.call_after(delay, guarded)
+        self._timers.append(timer)
+        if len(self._timers) > 256:
+            self._timers = [t for t in self._timers if not t.cancelled and t.fire_at >= self.loop.now]
+        return timer
+
+    def spawn(self, gen: Generator[Any, Any, Any], label: str = "") -> Process:
+        """Run a coroutine whose life is bound to this host incarnation."""
+        if not self.alive:
+            raise HostDownError(f"host {self.name!r} is down")
+        incarnation = self.incarnation
+        process = Process(
+            self.loop,
+            gen,
+            label=label or f"{self.name}:process",
+            liveness=lambda: self.alive and self.incarnation == incarnation,
+        )
+        self._processes.append(process)
+        if len(self._processes) > 256:
+            self._processes = [p for p in self._processes if not p.done()]
+        return process
+
+    def future(self, label: str = "") -> SimFuture:
+        return SimFuture(self.loop, label=f"{self.name}:{label}")
+
+    # -- crash/restart -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the process: volatile state is lost, disk survives."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.incarnation += 1
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for process in self._processes:
+            process.kill()
+        self._processes.clear()
+        if self.tracer is not None:
+            self.tracer.emit("host.crash", host=self.name)
+        if self.service is not None and hasattr(self.service, "on_crash"):
+            self.service.on_crash()
+
+    def restart(self) -> None:
+        """Bring the host back; the service recovers from the disk."""
+        if self.alive:
+            return
+        self.alive = True
+        if self.tracer is not None:
+            self.tracer.emit("host.restart", host=self.name)
+        if self.service is not None and hasattr(self.service, "on_restart"):
+            self.service.on_restart()
+
+    def crash_for(self, downtime: float) -> None:
+        """Crash now and automatically restart after ``downtime`` seconds."""
+        self.crash()
+        self.loop.call_after(downtime, self.restart)
+
+    def resurrect(self) -> None:
+        """Bring a crashed host up *without* recovery hooks — for member
+        replacement, where the caller installs a freshly-constructed
+        service over a re-seeded disk instead of recovering the old one."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        if self.tracer is not None:
+            self.tracer.emit("host.resurrect", host=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.alive else "down"
+        return f"Host({self.name!r}, region={self.region!r}, {state})"

@@ -1,0 +1,151 @@
+"""Simulated-time event loop.
+
+The loop is a priority queue of ``(fire_time, sequence, callback)`` entries.
+The sequence number makes ordering total and deterministic: two events
+scheduled for the same instant fire in the order they were scheduled.
+
+Time is a ``float`` in seconds. Nothing here sleeps on the wall clock; a
+multi-minute failover drill runs in milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimError
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays put and is skipped when
+    popped. This keeps ``cancel()`` O(1).
+    """
+
+    __slots__ = ("fire_at", "seq", "_callback", "_args", "cancelled")
+
+    def __init__(self, fire_at: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.fire_at = fire_at
+        self.seq = seq
+        self._callback = callback
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references so cancelled timers don't pin large closures.
+        self._callback = _noop
+        self._args = ()
+
+    def _fire(self) -> None:
+        self._callback(*self._args)
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.fire_at, self.seq) < (other.fire_at, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"Timer(fire_at={self.fire_at:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class EventLoop:
+    """Deterministic discrete-event loop with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[Timer] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far (useful for budget assertions)."""
+        return self._processed
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimError(f"cannot schedule in the past: {when} < {self._now}")
+        self._seq += 1
+        timer = Timer(when, self._seq, callback, args)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at the current instant (after events
+        already queued for this instant)."""
+        return self.call_at(self._now, callback, *args)
+
+    def _pop_ready(self, deadline: float) -> Timer | None:
+        while self._heap:
+            timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if timer.fire_at > deadline:
+                return None
+            return heapq.heappop(self._heap)
+        return None
+
+    def step(self) -> bool:
+        """Fire the single next event, if any. Returns True if one fired."""
+        timer = self._pop_ready(float("inf"))
+        if timer is None:
+            return False
+        self._now = max(self._now, timer.fire_at)
+        self._processed += 1
+        timer._fire()
+        return True
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> None:
+        """Process every event with ``fire_at <= deadline``; advance the
+        clock to ``deadline`` afterwards.
+
+        ``max_events`` guards against runaway schedules (e.g. a bug that
+        re-arms a zero-delay timer forever); exceeding it raises SimError.
+        """
+        fired = 0
+        while True:
+            timer = self._pop_ready(deadline)
+            if timer is None:
+                break
+            self._now = max(self._now, timer.fire_at)
+            self._processed += 1
+            timer._fire()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimError(f"run_until exceeded max_events={max_events}")
+        self._now = max(self._now, deadline)
+
+    def run_for(self, duration: float, max_events: int | None = None) -> None:
+        """Process events for ``duration`` seconds of simulated time."""
+        self.run_until(self._now + duration, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until the event queue drains. Heartbeat-style periodic timers
+        never drain, so this is mostly for small unit-test scenarios."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimError(f"run_until_idle exceeded max_events={max_events}")
+
+    def pending_count(self) -> int:
+        """Number of armed (non-cancelled) timers still queued."""
+        return sum(1 for t in self._heap if not t.cancelled)

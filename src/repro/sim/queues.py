@@ -1,0 +1,57 @@
+"""Async FIFO queues for coroutine pipelines."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.coro import SimFuture
+from repro.sim.loop import EventLoop
+
+
+class AsyncQueue:
+    """Unbounded FIFO with future-based gets.
+
+    ``get()`` returns a future for the next item; ``drain()`` empties the
+    queue synchronously (how group commit collects a whole batch).
+    """
+
+    def __init__(self, loop: EventLoop, name: str = "") -> None:
+        self._loop = loop
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque[SimFuture] = deque()
+        self.closed = False
+
+    def put(self, item: Any) -> None:
+        if self.closed:
+            return
+        if self._getters:
+            self._getters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimFuture:
+        future = SimFuture(self._loop, label=f"queue:{self.name}")
+        if self._items:
+            future.resolve(self._items.popleft())
+        else:
+            self._getters.append(future)
+        return future
+
+    def drain(self) -> list:
+        """Remove and return everything currently queued."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def close(self, error: Exception | None = None) -> list:
+        """Stop the queue: pending getters fail, queued items returned."""
+        self.closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            getter.fail_if_pending(error or RuntimeError(f"queue {self.name!r} closed"))
+        return self.drain()
+
+    def __len__(self) -> int:
+        return len(self._items)

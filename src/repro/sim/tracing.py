@@ -1,0 +1,80 @@
+"""Structured tracing for simulation runs.
+
+A :class:`Tracer` collects ``TraceRecord`` entries (time, kind, fields).
+Tests and the shadow-testing harness assert on traces; experiments use
+them to measure unavailability windows and event timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.sim.loop import EventLoop
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time:.6f}] {self.kind}({inner})"
+
+
+class Tracer:
+    """Append-only trace sink with simple filtering.
+
+    ``capacity`` bounds memory for long benchmark runs: when exceeded, the
+    oldest half of the records is discarded (benchmarks only inspect
+    recent windows; correctness tests use unbounded tracers).
+    """
+
+    def __init__(self, loop: EventLoop, capacity: int | None = None) -> None:
+        self._loop = loop
+        self._capacity = capacity
+        self.records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> TraceRecord:
+        record = TraceRecord(time=self._loop.now, kind=kind, fields=fields)
+        self.records.append(record)
+        if self._capacity is not None and len(self.records) > self._capacity:
+            half = len(self.records) // 2
+            self.dropped += half
+            del self.records[:half]
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``fn`` synchronously on every future record."""
+        self._subscribers.append(fn)
+
+    def of_kind(self, *kinds: str) -> list[TraceRecord]:
+        wanted = set(kinds)
+        return [r for r in self.records if r.kind in wanted]
+
+    def last(self, kind: str) -> TraceRecord | None:
+        for record in reversed(self.records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def between(self, start: float, end: float) -> Iterator[TraceRecord]:
+        return (r for r in self.records if start <= r.time <= end)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0

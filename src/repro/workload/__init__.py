@@ -1,0 +1,19 @@
+"""Workload generation and measurement (drives the §6 evaluation)."""
+
+from repro.workload.generators import WorkloadSpec, production_workload, sysbench_workload
+from repro.workload.profiles import (
+    production_timing,
+    sysbench_timing,
+)
+from repro.workload.runner import AvailabilityProbe, WorkloadResult, WorkloadRunner
+
+__all__ = [
+    "AvailabilityProbe",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "production_timing",
+    "production_workload",
+    "sysbench_timing",
+    "sysbench_workload",
+]

@@ -1,0 +1,97 @@
+"""Fault schedules: scripted and randomized failure injection (§5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.sim.rng import RngStream
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault. ``kind`` ∈ crash / restart / isolate / heal /
+    partition_regions / heal_regions."""
+
+    time: float
+    kind: str
+    target: str
+    other: str = ""
+
+    VALID = frozenset(
+        {"crash", "restart", "isolate", "heal", "partition_regions", "heal_regions"}
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID:
+            raise ReproError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultSchedule:
+    """Apply a list of fault events to a cluster at their times."""
+
+    def __init__(self, events: list[FaultEvent]) -> None:
+        self.events = sorted(events, key=lambda e: e.time)
+
+    def arm(self, cluster) -> None:
+        for event in self.events:
+            cluster.loop.call_at(event.time, self._apply, cluster, event)
+
+    @staticmethod
+    def _apply(cluster, event: FaultEvent) -> None:
+        if event.kind == "crash":
+            cluster.crash(event.target)
+        elif event.kind == "restart":
+            cluster.restart(event.target)
+        elif event.kind == "isolate":
+            cluster.net.isolate(event.target)
+        elif event.kind == "heal":
+            cluster.net.heal(event.target)
+        elif event.kind == "partition_regions":
+            cluster.net.partition_regions(event.target, event.other)
+        elif event.kind == "heal_regions":
+            cluster.net.heal_regions(event.target, event.other)
+
+
+@dataclass
+class RandomFaultInjector:
+    """MyShadow-style continuous failure injection (§5.1): repeatedly
+    crash-and-restart random members on a seeded schedule."""
+
+    cluster: object
+    rng: RngStream
+    mean_interval: float = 20.0
+    downtime: float = 5.0
+    targets: list = field(default_factory=list)
+    crash_leader_bias: float = 0.5
+    injected: int = 0
+
+    def start(self, duration: float) -> None:
+        from repro.sim.coro import spawn
+
+        spawn(self.cluster.loop, self._loop(duration), label="fault-injector")
+
+    def _loop(self, duration: float):
+        loop = self.cluster.loop
+        stop_at = loop.now + duration
+        while loop.now < stop_at:
+            yield self.rng.expovariate(1.0 / self.mean_interval)
+            if loop.now >= stop_at:
+                return
+            target = self._pick_target()
+            if target is None:
+                continue
+            host = self.cluster.hosts[target]
+            if not host.alive:
+                continue
+            self.injected += 1
+            host.crash_for(self.downtime)
+
+    def _pick_target(self):
+        primary = self.cluster.primary_service()
+        if primary is not None and self.rng.bernoulli(self.crash_leader_bias):
+            return primary.host.name
+        candidates = [n for n in (self.targets or list(self.cluster.hosts))
+                      if self.cluster.hosts[n].alive]
+        return self.rng.choice(candidates) if candidates else None

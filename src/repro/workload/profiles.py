@@ -1,0 +1,44 @@
+"""Timing profiles calibrated to the paper's two workloads (§6.1).
+
+Production-representative workload: clients sit ~10 ms (RTT) away from
+the primary; transactions touch several rows, so execution+prepare is
+milliseconds. Observed averages in the paper: 15626.8 µs semi-sync vs
+15758.4 µs MyRaft (+0.8%).
+
+sysbench OLTP write: clients co-located with the primary, single-row
+writes. Observed averages: 811.2 µs semi-sync vs 826.4 µs MyRaft (+1.9%).
+
+The MyRaft variants differ from the baselines only by the per-transaction
+Raft bookkeeping cost (OpId stamping, checksum, compression, cache —
+§3.4), which is what the paper attributes the ~1-2% gap to.
+"""
+
+from __future__ import annotations
+
+from repro.mysql.timing import TimingProfile
+
+RAFT_OVERHEAD_MEDIAN = 7e-6
+
+
+def production_timing(myraft: bool) -> TimingProfile:
+    """Multi-row production transactions on NVMe-class storage."""
+    return TimingProfile(
+        prepare_median=2.4e-3,
+        binlog_fsync_median=250e-6,
+        engine_commit_median=150e-6,
+        applier_event_median=40e-6,
+        raft_overhead_median=RAFT_OVERHEAD_MEDIAN * 8 if myraft else 0.0,
+        sigma=0.30,
+    )
+
+
+def sysbench_timing(myraft: bool) -> TimingProfile:
+    """Single-row sysbench OLTP writes, client on the same machine."""
+    return TimingProfile(
+        prepare_median=180e-6,
+        binlog_fsync_median=110e-6,
+        engine_commit_median=70e-6,
+        applier_event_median=10e-6,
+        raft_overhead_median=RAFT_OVERHEAD_MEDIAN if myraft else 0.0,
+        sigma=0.25,
+    )

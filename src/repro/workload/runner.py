@@ -1,0 +1,172 @@
+"""Drive a workload against a replicaset and measure what the paper plots.
+
+Works identically against :class:`repro.cluster.MyRaftReplicaset` and
+:class:`repro.semisync.SemiSyncReplicaset` (they share the operator
+interface), which is exactly the §6.1 A/B methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.metrics import LatencyHistogram, LatencySummary, ThroughputSeries, summarize
+from repro.sim.coro import spawn
+from repro.workload.generators import WorkloadSpec
+
+
+@dataclass
+class WorkloadResult:
+    """Everything Figures 5a–5d need from one run."""
+
+    name: str
+    latency: LatencyHistogram
+    throughput: ThroughputSeries
+    committed: int = 0
+    errors: int = 0
+
+    def latency_summary(self) -> LatencySummary:
+        return summarize(self.latency)
+
+
+class WorkloadRunner:
+    """Closed-loop clients against one replicaset."""
+
+    def __init__(self, cluster, spec: WorkloadSpec, throughput_bucket: float = 1.0) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.rng = cluster.rng.child(f"workload/{spec.name}")
+        self.result = WorkloadResult(
+            name=spec.name,
+            latency=LatencyHistogram(spec.name),
+            throughput=ThroughputSeries(throughput_bucket, spec.name),
+        )
+        self._stop_at = 0.0
+        self._txn_counter = 0
+
+    def run(self, duration: float, warmup: float = 0.0) -> WorkloadResult:
+        """Run the workload for ``duration`` simulated seconds (after an
+        unmeasured ``warmup``)."""
+        loop = self.cluster.loop
+        measure_from = loop.now + warmup
+        self._stop_at = measure_from + duration
+        for client_id in range(self.spec.clients):
+            spawn(
+                loop,
+                self._client(client_id, measure_from),
+                label=f"client-{client_id}",
+            )
+        self.cluster.run(warmup + duration)
+        return self.result
+
+    def _client(self, client_id: int, measure_from: float):
+        loop = self.cluster.loop
+        rng = self.rng.child(f"client{client_id}")
+        while loop.now < self._stop_at:
+            primary = self.cluster.primary_service()
+            if primary is None or not primary.host.alive:
+                yield 0.05  # discovery retry backoff
+                continue
+            self._txn_counter += 1
+            rows = self.spec.make_rows(rng, self._txn_counter)
+            started = loop.now
+            yield self.spec.client_latency.sample(rng)  # request flight
+            try:
+                process = primary.submit_write(self.spec.table, rows)
+                yield process
+            except Exception:  # noqa: BLE001 - demotion/crash mid-write
+                self.result.errors += 1
+                yield 0.02
+                continue
+            yield self.spec.client_latency.sample(rng)  # response flight
+            finished = loop.now
+            if started >= measure_from and finished <= self._stop_at:
+                self.result.latency.record(finished - started)
+                self.result.throughput.record(finished)
+                self.result.committed += 1
+            think = self.spec.sample_think(rng)
+            if think > 0:
+                yield think
+
+
+@dataclass
+class DowntimeWindow:
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class AvailabilityProbe:
+    """A single low-rate writer that measures write-unavailability windows
+    (how Table 2 downtimes are observed from the client side).
+
+    The probe issues a small write every ``interval``; a *downtime window*
+    is the span between the last success before a failure streak and the
+    first success after it, minus nothing — the same client-visible
+    definition the paper uses.
+    """
+
+    cluster: object
+    interval: float = 0.05
+    table: str = "probe"
+    probe_timeout: float = 600.0
+    success_times: list = field(default_factory=list)
+    failures: int = 0
+    _counter: int = 0
+
+    def start(self, duration: float) -> None:
+        spawn(self.cluster.loop, self._probe_loop(duration), label="availability-probe")
+
+    def _probe_loop(self, duration: float):
+        loop = self.cluster.loop
+        stop_at = loop.now + duration
+        while loop.now < stop_at:
+            primary = self.cluster.primary_service()
+            if primary is None or not primary.host.alive:
+                self.failures += 1
+                yield self.interval
+                continue
+            self._counter += 1
+            try:
+                process = primary.submit_write(
+                    self.table, {self._counter: {"id": self._counter}}
+                )
+                from repro.sim.coro import with_timeout
+
+                yield with_timeout(loop, process, self.probe_timeout)
+                self.success_times.append(loop.now)
+            except Exception:  # noqa: BLE001
+                self.failures += 1
+            yield self.interval
+
+    def downtime_windows(self, threshold: float = 0.5) -> list[DowntimeWindow]:
+        """Gaps between consecutive successes longer than ``threshold``."""
+        windows = []
+        for previous, current in zip(self.success_times, self.success_times[1:]):
+            if current - previous > threshold:
+                windows.append(DowntimeWindow(previous, current))
+        return windows
+
+    def downtime_after(self, event_time: float) -> float:
+        """Client-observed downtime for a fault injected at
+        ``event_time``: from the last success at/before it to the first
+        success after it."""
+        before = [t for t in self.success_times if t <= event_time]
+        after = [t for t in self.success_times if t > event_time]
+        if not before or not after:
+            raise ReproError("probe did not bracket the event")
+        return after[0] - before[-1]
+
+    def max_gap(self, start: float, end: float) -> float:
+        """Largest gap between consecutive successes overlapping
+        [start, end] — the client-observed downtime of an operation whose
+        unavailability begins at an unknown instant inside the window
+        (e.g. the quiesce point of a graceful promotion)."""
+        relevant = [t for t in self.success_times if start - 2.0 <= t <= end]
+        if len(relevant) < 2:
+            raise ReproError("probe has too few successes in the window")
+        return max(b - a for a, b in zip(relevant, relevant[1:]))

@@ -1,0 +1,125 @@
+"""Backup/restore tests (§3's backup-service dependency on binlogs)."""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.control.backup import BackupVault, restore_member, take_backup
+from repro.errors import ControlPlaneError
+
+
+def spec():
+    return ReplicaSetSpec(
+        "backup-test",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+
+
+@pytest.fixture
+def cluster():
+    rs = MyRaftReplicaset(spec(), seed=67)
+    rs.bootstrap()
+    for i in range(6):
+        rs.write_and_run("inv", {i: {"id": i, "v": f"x{i}"}}, seconds=0.3)
+    rs.run(2.0)
+    return rs
+
+
+class TestTakeBackup:
+    def test_snapshot_contents(self, cluster):
+        backup = take_backup(cluster, "region1-db1")
+        assert backup.row_count() == 6
+        assert backup.tables["inv"][3] == {"id": 3, "v": "x3"}
+        assert backup.last_opid.index >= 6
+        assert "UUID-REGION0-DB1:1-6" in backup.executed_gtids
+
+    def test_backup_is_a_copy(self, cluster):
+        backup = take_backup(cluster, "region1-db1")
+        cluster.write_and_run("inv", {0: {"id": 0, "v": "mutated"}}, seconds=1.0)
+        assert backup.tables["inv"][0] == {"id": 0, "v": "x0"}
+
+    def test_logtailer_rejected(self, cluster):
+        with pytest.raises(ControlPlaneError):
+            take_backup(cluster, "region0-lt1")
+
+    def test_dead_member_rejected(self, cluster):
+        cluster.crash("region1-db1")
+        with pytest.raises(ControlPlaneError):
+            take_backup(cluster, "region1-db1")
+
+    def test_vault_latest(self, cluster):
+        vault = BackupVault(cluster)
+        first = vault.take("region1-db1")
+        cluster.run(1.0)
+        second = vault.take("region1-db1")
+        assert vault.latest() is second
+
+
+class TestRestoreMember:
+    def test_restore_seeds_and_catches_up(self, cluster):
+        backup = take_backup(cluster, "region1-db1")
+        # More writes after the backup point.
+        for i in range(6, 10):
+            cluster.write_and_run("inv", {i: {"id": i, "v": f"x{i}"}}, seconds=0.3)
+        # The member dies and is replaced from backup.
+        cluster.crash("region1-db1")
+        cluster.run(1.0)
+        restored = restore_member(cluster, "region1-db1", backup)
+        cluster.run(6.0)
+        # Snapshot rows present AND the post-backup tail shipped by Raft.
+        for i in range(10):
+            assert restored.mysql.engine.table("inv").get(i) == {"id": i, "v": f"x{i}"}
+        assert cluster.databases_converged()
+
+    def test_restore_works_after_leader_purged_history(self, cluster):
+        """The whole point of snapshot-based restore: the leader may have
+        purged binlogs below the backup point."""
+        backup = take_backup(cluster, "region1-db1")
+        primary = cluster.primary_service()
+        for i in range(6, 9):
+            cluster.write_and_run("inv", {i: {"id": i, "v": f"x{i}"}}, seconds=0.3)
+        cluster.run(2.0)
+        # Rotate and purge everything below the watermark on the leader.
+        primary.flush_binary_logs()
+        cluster.run(2.0)
+        purged = primary.purge_to_horizon()
+        assert purged, "leader should have purged old files"
+        cluster.crash("region1-db1")
+        cluster.run(1.0)
+        restored = restore_member(cluster, "region1-db1", backup)
+        cluster.run(8.0)
+        for i in range(9):
+            assert restored.mysql.engine.table("inv").get(i) == {"id": i, "v": f"x{i}"}
+
+    def test_restored_member_participates_in_failover(self, cluster):
+        backup = take_backup(cluster, "region1-db1")
+        cluster.crash("region1-db1")
+        cluster.run(1.0)
+        restore_member(cluster, "region1-db1", backup)
+        cluster.run(5.0)
+        cluster.crash("region0-db1")
+        new_primary = cluster.wait_for_primary(timeout=40.0, exclude="region0-db1")
+        assert new_primary.host.name == "region1-db1"
+        process = new_primary.submit_write("inv", {42: {"id": 42}})
+        cluster.run(2.0)
+        assert process.done() and not process.failed()
+
+    def test_restore_survives_subsequent_crash(self, cluster):
+        """The snapshot base persists: a later crash/recovery of the
+        restored member must rebuild the same base from disk."""
+        backup = take_backup(cluster, "region1-db1")
+        cluster.crash("region1-db1")
+        cluster.run(1.0)
+        restored = restore_member(cluster, "region1-db1", backup)
+        cluster.run(4.0)
+        cluster.crash("region1-db1")
+        cluster.run(1.0)
+        cluster.restart("region1-db1")
+        cluster.run(5.0)
+        again = cluster.server("region1-db1")
+        assert again.storage.first_index() > 1  # base survived recovery
+        cluster.write_and_run("inv", {77: {"id": 77}}, seconds=1.0)
+        cluster.run(3.0)
+        assert again.mysql.engine.table("inv").get(77) == {"id": 77}

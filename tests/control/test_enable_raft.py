@@ -1,0 +1,105 @@
+"""enable-raft rollout tests (§5.2)."""
+
+import pytest
+
+from repro.cluster.topology import RegionSpec, ReplicaSetSpec
+from repro.control.enable_raft import EnableRaftTool
+from repro.plugin.raft_plugin import MyRaftServer
+from repro.semisync import SemiSyncAutomationConfig, SemiSyncReplicaset
+
+
+def spec():
+    return ReplicaSetSpec(
+        "rollout-test",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+
+
+@pytest.fixture
+def semisync_cluster():
+    rs = SemiSyncReplicaset(spec(), seed=21)
+    rs.bootstrap()
+    for i in range(5):
+        process = rs.write_and_run("t", {i: {"id": i, "v": f"pre{i}"}}, seconds=0.5)
+        assert process.done() and not process.failed()
+    rs.run(3.0)  # replicas and ackers drain
+    return rs
+
+
+class TestEnableRaft:
+    def test_rollout_succeeds(self, semisync_cluster):
+        tool = EnableRaftTool(semisync_cluster)
+        report = tool.run_to_completion()
+        assert report.succeeded, report.aborted_reason
+        assert len(report.converted_members) == 6  # 2 dbs + 4 logtailers
+
+    def test_write_unavailability_is_a_few_seconds(self, semisync_cluster):
+        tool = EnableRaftTool(semisync_cluster)
+        report = tool.run_to_completion()
+        assert report.succeeded
+        assert report.write_unavailability is not None
+        assert report.write_unavailability < 10.0
+
+    def test_existing_data_preserved(self, semisync_cluster):
+        tool = EnableRaftTool(semisync_cluster)
+        report = tool.run_to_completion()
+        assert report.succeeded
+        cluster = semisync_cluster
+        primary = next(
+            s for s in cluster.services.values()
+            if isinstance(s, MyRaftServer) and not s.mysql.read_only
+        )
+        for i in range(5):
+            assert primary.mysql.engine.table("t").get(i) == {"id": i, "v": f"pre{i}"}
+
+    def test_writes_work_after_rollout(self, semisync_cluster):
+        tool = EnableRaftTool(semisync_cluster)
+        report = tool.run_to_completion()
+        assert report.succeeded
+        cluster = semisync_cluster
+        primary = next(
+            s for s in cluster.services.values()
+            if isinstance(s, MyRaftServer) and not s.mysql.read_only
+        )
+        process = primary.submit_write("t", {100: {"id": 100, "v": "post"}})
+        cluster.run(3.0)
+        assert process.done() and not process.failed()
+        # Replication now flows through Raft to the converted members.
+        replica = next(
+            s for s in cluster.services.values()
+            if isinstance(s, MyRaftServer) and s is not primary
+        )
+        cluster.run(3.0)
+        assert replica.mysql.engine.table("t").get(100) == {"id": 100, "v": "post"}
+
+    def test_raft_failover_works_after_rollout(self, semisync_cluster):
+        tool = EnableRaftTool(semisync_cluster)
+        report = tool.run_to_completion()
+        assert report.succeeded
+        cluster = semisync_cluster
+        cluster.crash("region0-db1")
+        deadline = cluster.loop.now + 30.0
+        new_primary = None
+        while cluster.loop.now < deadline:
+            cluster.run(0.2)
+            candidates = [
+                s for s in cluster.services.values()
+                if isinstance(s, MyRaftServer)
+                and cluster.hosts[s.host.name].alive
+                and not s.mysql.read_only
+            ]
+            if candidates:
+                new_primary = candidates[0]
+                break
+        assert new_primary is not None
+        assert new_primary.host.name == "region1-db1"
+
+    def test_rollout_aborts_with_dead_member(self, semisync_cluster):
+        semisync_cluster.crash("region1-lt1")
+        tool = EnableRaftTool(semisync_cluster)
+        report = tool.run_to_completion()
+        assert not report.succeeded
+        assert "members down" in report.aborted_reason

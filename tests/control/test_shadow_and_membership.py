@@ -1,0 +1,104 @@
+"""Shadow testing (§5.1) and membership-change automation (§2.2)."""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.control.automation import MembershipAutomation
+from repro.control.shadow import ShadowTestHarness
+from repro.errors import ControlPlaneError, MembershipError
+from repro.raft.types import MemberInfo, MemberType
+from repro.workload.generators import WorkloadSpec
+from repro.sim.network import FixedLatency
+
+
+def spec():
+    return ReplicaSetSpec(
+        "shadow-test",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+
+
+def light_workload():
+    return WorkloadSpec(
+        name="shadow-light",
+        clients=2,
+        think_time=0.05,
+        client_latency=FixedLatency(0.0002),
+    )
+
+
+@pytest.fixture
+def cluster():
+    rs = MyRaftReplicaset(spec(), seed=31)
+    rs.bootstrap()
+    return rs
+
+
+class TestShadowTesting:
+    def test_failure_injection_preserves_correctness(self, cluster):
+        harness = ShadowTestHarness(cluster, light_workload())
+        report = harness.run_failure_injection(
+            duration=60.0, mean_crash_interval=15.0, crash_downtime=4.0
+        )
+        assert report.faults_injected >= 1
+        assert report.committed > 50
+        assert report.checks_passed, (
+            f"converged={report.databases_converged} logs={report.logs_prefix_equal}"
+        )
+
+    def test_failure_injection_downtime_is_bounded(self, cluster):
+        harness = ShadowTestHarness(cluster, light_workload())
+        report = harness.run_failure_injection(duration=60.0, mean_crash_interval=20.0)
+        for window in report.downtime_windows:
+            assert window.duration < 15.0, f"downtime {window.duration:.1f}s too long"
+
+    def test_functional_transfers_keep_correctness(self, cluster):
+        harness = ShadowTestHarness(cluster, light_workload())
+        report = harness.run_functional(rounds=4, inter_op_delay=4.0)
+        assert report.operations >= 2
+        assert report.checks_passed
+
+
+class TestMembershipAutomation:
+    def test_replace_logtailer(self, cluster):
+        cluster.write_and_run("t", {1: {"id": 1}}, seconds=2.0)
+        automation = MembershipAutomation(cluster)
+        new_member = MemberInfo("region0-lt3", "region0", MemberType.VOTER, False)
+        report = automation.run_replace("region0-lt1", new_member)
+        assert report.succeeded
+        leader = cluster.primary_service()
+        assert "region0-lt3" in leader.node.membership
+        assert "region0-lt1" not in leader.node.membership
+        # The new logtailer participates in the data quorum: kill the
+        # other original one and writes still commit.
+        cluster.run(2.0)
+        cluster.crash("region0-lt2")
+        process = leader.submit_write("t", {2: {"id": 2}})
+        cluster.run(2.0)
+        assert process.done() and not process.failed()
+
+    def test_replace_database_member(self, cluster):
+        cluster.write_and_run("t", {1: {"id": 1, "v": "x"}}, seconds=2.0)
+        automation = MembershipAutomation(cluster)
+        new_member = MemberInfo("region1-db2", "region1", MemberType.VOTER, True)
+        report = automation.run_replace("region1-db1", new_member)
+        assert report.succeeded
+        cluster.run(5.0)
+        newcomer = cluster.server("region1-db2")
+        assert newcomer.mysql.engine.table("t").get(1) == {"id": 1, "v": "x"}
+
+    def test_cannot_replace_current_leader(self, cluster):
+        automation = MembershipAutomation(cluster)
+        new_member = MemberInfo("region0-db2", "region0", MemberType.VOTER, True)
+        with pytest.raises((MembershipError, ControlPlaneError)):
+            automation.run_replace("region0-db1", new_member)
+
+    def test_duplicate_host_rejected(self, cluster):
+        automation = MembershipAutomation(cluster)
+        with pytest.raises(ControlPlaneError):
+            automation.allocate_member(
+                MemberInfo("region0-db1", "region0", MemberType.VOTER, True)
+            )

@@ -1,0 +1,107 @@
+"""Capstone chaos test: everything at once, invariants at the end.
+
+A long simulated run against the paper topology with continuous writes
+and a scripted barrage of operations — crashes, restarts, partitions,
+graceful transfers, log rotations, a membership change, a backup-based
+restore — after which the §5.1 correctness checks and the Raft safety
+properties must hold.
+"""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.control.backup import restore_member, take_backup
+from repro.raft.types import MemberInfo, MemberType, RaftRole
+from repro.sim.network import FixedLatency
+from repro.workload.generators import WorkloadSpec
+from repro.workload.runner import WorkloadRunner
+
+
+def spec():
+    return ReplicaSetSpec(
+        "chaos",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+            RegionSpec("region2", databases=1, logtailers=2, learners=1),
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_chaos_run_preserves_all_invariants(seed):
+    cluster = MyRaftReplicaset(spec(), seed=seed, trace_capacity=None)
+    cluster.bootstrap()
+    workload = WorkloadSpec(
+        name="chaos", clients=3, think_time=0.03,
+        client_latency=FixedLatency(0.0003),
+    )
+    runner = WorkloadRunner(cluster, workload)
+
+    backup_box = {}
+
+    def op(delay, fn, *args):
+        cluster.loop.call_after(delay, fn, *args)
+
+    # A scripted barrage across the run (times relative to now).
+    op(5.0, cluster.crash, "region0-db1")                      # dead-primary failover
+    op(12.0, cluster.restart, "region0-db1")                   # rejoin + catch-up
+    op(18.0, lambda: cluster.transfer_leadership("region2-db1"))  # graceful transfer
+    op(26.0, cluster.net.partition_regions, "region0", "region2")
+    op(33.0, cluster.net.heal_regions, "region0", "region2")
+    op(38.0, lambda: backup_box.update(b=take_backup(cluster, "region1-db1")))
+    op(40.0, cluster.crash, "region1-db1")
+    op(44.0, lambda: restore_member(cluster, "region1-db1", backup_box["b"]))
+    op(50.0, cluster.crash, "region2-lt1")                     # quorum member loss
+    op(56.0, cluster.restart, "region2-lt1")
+
+    def rotate_on_primary():
+        primary = cluster.primary_service()
+        if primary is not None:
+            primary.flush_binary_logs()
+
+    op(22.0, rotate_on_primary)
+    op(48.0, rotate_on_primary)
+
+    result = runner.run(duration=70.0)
+
+    # Liveness: the ring kept taking writes through all of it.
+    assert result.committed > 500, f"only {result.committed} commits"
+
+    # Settle and run the §5.1 checks.
+    cluster.net.heal_all()
+    for host in cluster.hosts.values():
+        if not host.alive:
+            host.restart()
+    cluster.run(20.0)
+
+    assert cluster.primary_service() is not None
+    assert cluster.databases_converged(), "engines diverged"
+    assert cluster.logs_prefix_equal(), "replicated logs diverged"
+
+    # Raft safety: one leader per term across the whole run.
+    by_term = {}
+    for record in cluster.tracer.of_kind("raft.leader_elected"):
+        by_term.setdefault(record.get("term"), set()).add(record.get("node"))
+    for term, leaders in by_term.items():
+        assert len(leaders) == 1, f"term {term} elected {leaders}"
+
+    # Role sanity: exactly one leader, everyone else follower/learner.
+    leaders = [
+        s for s in cluster.database_services()
+        if s.node.role == RaftRole.LEADER
+    ]
+    assert len(leaders) == 1
+    # The learner never led.
+    learner_names = {
+        m.name for m in cluster.membership.members
+        if m.member_type == MemberType.NON_VOTER
+    }
+    for term, elected in by_term.items():
+        assert not (elected & learner_names)
+
+    # GTID accounting: committed transactions exist exactly once in the
+    # final leader's executed set (no duplicate application).
+    final_primary = cluster.primary_service()
+    executed = final_primary.mysql.engine.executed_gtids
+    assert executed.count() >= result.committed

@@ -1,0 +1,258 @@
+"""BinlogFile, LogIndex, and MySQLLogManager tests."""
+
+import pytest
+
+from repro.errors import BinlogError
+from repro.mysql.binlog import (
+    BinlogFile,
+    LogIndex,
+    format_file_name,
+    parse_file_sequence,
+)
+from repro.mysql.events import (
+    GtidEvent,
+    QueryEvent,
+    RotateEvent,
+    RowsEvent,
+    TableMapEvent,
+    Transaction,
+    XidEvent,
+)
+from repro.mysql.log_manager import MySQLLogManager
+from repro.raft.types import OpId
+
+UUID = "3E11FA47-71CA-11E1-9E33-C80AA9429562"
+
+
+def make_txn(txn_id, term=1, index=None):
+    return Transaction(
+        events=(
+            GtidEvent(UUID, txn_id, OpId(term, index if index is not None else txn_id)),
+            QueryEvent("BEGIN"),
+            TableMapEvent(1, "db", "t"),
+            RowsEvent("write", 1, ((None, {"id": txn_id}),)),
+            XidEvent(txn_id),
+        )
+    )
+
+
+class TestFileNames:
+    def test_format_and_parse(self):
+        name = format_file_name("binary-logs", 7)
+        assert name == "binary-logs-000007"
+        assert parse_file_sequence(name) == 7
+
+    def test_bad_sequence(self):
+        with pytest.raises(BinlogError):
+            format_file_name("x", 0)
+
+    def test_bad_name(self):
+        with pytest.raises(BinlogError):
+            parse_file_sequence("garbage")
+
+
+class TestBinlogFile:
+    def test_new_file_has_headers(self):
+        f = BinlogFile("binary-logs-000001", previous_gtids=f"{UUID}:1-3")
+        events = f.events()
+        assert len(events) == 2
+        assert f.previous_gtids() == f"{UUID}:1-3"
+        assert f.transaction_count == 0
+
+    def test_append_and_read_back(self):
+        f = BinlogFile("binary-logs-000001")
+        txn = make_txn(1)
+        location = f.append_transaction(txn)
+        assert f.read_transaction_at(location.offset) == txn
+        assert f.transaction_count == 1
+
+    def test_transactions_parse_from_bytes(self):
+        f = BinlogFile("binary-logs-000001")
+        txns = [make_txn(i) for i in range(1, 4)]
+        for txn in txns:
+            f.append_transaction(txn)
+        assert f.transactions() == txns
+
+    def test_read_bad_offset(self):
+        f = BinlogFile("binary-logs-000001")
+        f.append_transaction(make_txn(1))
+        with pytest.raises(BinlogError):
+            f.read_transaction_at(3)
+
+    def test_closed_file_rejects_appends(self):
+        f = BinlogFile("binary-logs-000001")
+        f.close()
+        with pytest.raises(BinlogError):
+            f.append_transaction(make_txn(1))
+
+    def test_truncate_suffix(self):
+        f = BinlogFile("binary-logs-000001")
+        for i in range(1, 5):
+            f.append_transaction(make_txn(i))
+        removed = f.truncate_transactions_from(2)
+        assert removed == 2
+        remaining = f.transactions()
+        assert [t.gtid_event.txn_id for t in remaining] == [1, 2]
+
+    def test_truncate_bounds(self):
+        f = BinlogFile("binary-logs-000001")
+        f.append_transaction(make_txn(1))
+        with pytest.raises(BinlogError):
+            f.truncate_transactions_from(5)
+
+    def test_checksum_changes_with_content(self):
+        a = BinlogFile("binary-logs-000001")
+        b = BinlogFile("binary-logs-000001")
+        assert a.checksum() == b.checksum()
+        a.append_transaction(make_txn(1))
+        assert a.checksum() != b.checksum()
+
+
+class TestLogIndex:
+    def test_ordered_add(self):
+        idx = LogIndex()
+        idx.add("binary-logs-000001")
+        idx.add("binary-logs-000002")
+        assert idx.names() == ["binary-logs-000001", "binary-logs-000002"]
+        assert idx.first() == "binary-logs-000001"
+        assert idx.last() == "binary-logs-000002"
+
+    def test_out_of_order_rejected(self):
+        idx = LogIndex()
+        idx.add("binary-logs-000002")
+        with pytest.raises(BinlogError):
+            idx.add("binary-logs-000001")
+
+    def test_duplicate_rejected(self):
+        idx = LogIndex()
+        idx.add("binary-logs-000001")
+        with pytest.raises(BinlogError):
+            idx.add("binary-logs-000001")
+
+    def test_files_before(self):
+        idx = LogIndex()
+        for i in (1, 2, 3):
+            idx.add(format_file_name("binary-logs", i))
+        assert idx.files_before("binary-logs-000003") == [
+            "binary-logs-000001",
+            "binary-logs-000002",
+        ]
+        assert idx.files_before("binary-logs-000001") == []
+
+    def test_remove(self):
+        idx = LogIndex()
+        idx.add("binary-logs-000001")
+        idx.remove("binary-logs-000001")
+        assert len(idx) == 0
+        with pytest.raises(BinlogError):
+            idx.remove("binary-logs-000001")
+
+
+class TestLogManager:
+    def make_manager(self, persona="binlog"):
+        return MySQLLogManager({}, persona=persona)
+
+    def test_initial_state(self):
+        mgr = self.make_manager()
+        assert mgr.persona == "binlog"
+        assert mgr.current_file.name == "binary-logs-000001"
+        assert len(mgr.index) == 1
+
+    def test_append_tracks_gtids(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        mgr.append_transaction(make_txn(2))
+        assert str(mgr.log_gtids) == f"{UUID}:1-2"
+
+    def test_rotate_carries_gtid_header(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        mgr.rotate()
+        assert mgr.current_file.name == "binary-logs-000002"
+        assert mgr.current_file.previous_gtids() == f"{UUID}:1"
+
+    def test_rotate_event_rotates(self):
+        mgr = self.make_manager()
+        rotate = Transaction(events=(RotateEvent("binary-logs-000002", OpId(1, 1)),))
+        mgr.append_transaction(rotate)
+        assert mgr.current_file.name == "binary-logs-000002"
+        # the rotate event itself landed in the old file
+        assert mgr.files["binary-logs-000001"].transaction_count == 1
+
+    def test_read_transaction_via_location(self):
+        mgr = self.make_manager()
+        txn = make_txn(1)
+        location = mgr.append_transaction(txn)
+        assert mgr.read_transaction(location) == txn
+
+    def test_all_transactions_across_files(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        mgr.rotate()
+        mgr.append_transaction(make_txn(2))
+        assert [t.gtid_event.txn_id for t in mgr.all_transactions()] == [1, 2]
+
+    def test_rewire_changes_prefix_for_new_files(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        mgr.rewire("relay")
+        assert mgr.persona == "relay"
+        assert mgr.current_file.name == "relay-logs-000002"
+        # history intact
+        assert "binary-logs-000001" in mgr.index
+
+    def test_rewire_same_persona_noop(self):
+        mgr = self.make_manager()
+        mgr.rewire("binlog")
+        assert mgr.current_file.name == "binary-logs-000001"
+
+    def test_purge_respects_approval(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        mgr.rotate()
+        mgr.append_transaction(make_txn(2))
+        mgr.rotate()
+        target = mgr.current_file.name
+
+        purged = mgr.purge_logs_to(target, approval=lambda name: name.endswith("000001"))
+        assert purged == ["binary-logs-000001"]
+        assert "binary-logs-000002" in mgr.index  # approval denied → kept
+
+    def test_purge_all_approved(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        mgr.rotate()
+        purged = mgr.purge_logs_to(mgr.current_file.name, approval=lambda name: True)
+        assert purged == ["binary-logs-000001"]
+        assert len(mgr.index) == 1
+
+    def test_content_checksum_persona_independent(self):
+        a = self.make_manager("binlog")
+        b = self.make_manager("relay")
+        for txn_id in (1, 2, 3):
+            a.append_transaction(make_txn(txn_id))
+            b.append_transaction(make_txn(txn_id))
+        assert a.content_checksum() == b.content_checksum()
+
+    def test_content_checksum_detects_divergence(self):
+        a = self.make_manager()
+        b = self.make_manager()
+        a.append_transaction(make_txn(1))
+        b.append_transaction(make_txn(2))
+        assert a.content_checksum() != b.content_checksum()
+
+    def test_state_survives_reconstruction(self):
+        # Simulates crash recovery: a new manager over the same durable dict.
+        durable = {}
+        mgr = MySQLLogManager(durable)
+        mgr.append_transaction(make_txn(1))
+        recovered = MySQLLogManager(durable)
+        assert [t.gtid_event.txn_id for t in recovered.all_transactions()] == [1]
+        assert str(recovered.log_gtids) == f"{UUID}:1"
+
+    def test_describe_rows(self):
+        mgr = self.make_manager()
+        mgr.append_transaction(make_txn(1))
+        rows = mgr.describe()
+        assert rows[0]["Log_name"] == "binary-logs-000001"
+        assert rows[0]["File_size"] > 0

@@ -1,0 +1,134 @@
+"""MySQL admin-command surface (§3): preserved, adjusted, disallowed."""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.errors import MySQLError
+from repro.mysql.commands import CommandInterface
+
+
+@pytest.fixture
+def cluster():
+    spec = ReplicaSetSpec(
+        "cmd-test",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+    rs = MyRaftReplicaset(spec, seed=19)
+    rs.bootstrap()
+    for i in range(3):
+        rs.write_and_run("t", {i: {"id": i}}, seconds=0.5)
+    rs.run(2.0)
+    return rs
+
+
+def primary_commands(cluster):
+    primary = cluster.primary_service()
+    return CommandInterface(primary.mysql, raft_driver=primary), primary
+
+
+class TestShowCommands:
+    def test_show_binary_logs(self, cluster):
+        commands, primary = primary_commands(cluster)
+        rows = commands.execute("SHOW BINARY LOGS")
+        assert rows
+        # The newest file carries the binlog persona (the first may be the
+        # pre-promotion relay file — history is never rewritten).
+        assert rows[-1]["Log_name"].startswith("binary-logs-")
+        assert rows[-1]["File_size"] > 0
+
+    def test_show_master_status(self, cluster):
+        commands, primary = primary_commands(cluster)
+        rows = commands.execute("SHOW MASTER STATUS")
+        assert len(rows) == 1
+        assert rows[0]["File"] == primary.mysql.log_manager.current_file.name
+        assert "UUID-REGION0-DB1" in rows[0]["Executed_Gtid_Set"]
+
+    def test_show_replica_status_on_primary_is_empty(self, cluster):
+        commands, _ = primary_commands(cluster)
+        assert commands.execute("SHOW REPLICA STATUS") == []
+
+    def test_show_replica_status_on_replica(self, cluster):
+        replica = cluster.server("region1-db1")
+        commands = CommandInterface(replica.mysql, raft_driver=replica)
+        rows = commands.execute("SHOW REPLICA STATUS")
+        assert len(rows) == 1
+        assert rows[0]["Replica_SQL_Running"] == "Yes"
+        assert rows[0]["Source_Host"] == "region0-db1"
+
+
+class TestDisallowed:
+    @pytest.mark.parametrize(
+        "statement",
+        ["CHANGE MASTER TO SOURCE_HOST='x'", "RESET MASTER", "RESET REPLICATION"],
+    )
+    def test_raft_owned_operations_rejected(self, cluster, statement):
+        commands, _ = primary_commands(cluster)
+        with pytest.raises(MySQLError, match="disallowed under MyRaft"):
+            commands.execute(statement)
+
+    def test_unknown_statement(self, cluster):
+        commands, _ = primary_commands(cluster)
+        with pytest.raises(MySQLError, match="unsupported"):
+            commands.execute("DROP UNIVERSE")
+
+
+class TestFlushAndPurge:
+    def test_flush_binary_logs_replicates_rotation(self, cluster):
+        commands, primary = primary_commands(cluster)
+        replica = cluster.server("region1-db1")
+        tailer = cluster.logtailer("region0-lt1")
+        sequences_before = {
+            "primary": primary.mysql.log_manager.last_sequence(),
+            "replica": replica.mysql.log_manager.last_sequence(),
+            "tailer": tailer.log_manager.last_sequence(),
+        }
+        commands.execute("FLUSH BINARY LOGS")
+        cluster.run(3.0)
+        # The rotate replicated: every member rotated its own log exactly
+        # once (sequence counters differ by persona history; the invariant
+        # is that rotation happens ring-wide, §A.1).
+        assert primary.mysql.log_manager.last_sequence() == sequences_before["primary"] + 1
+        assert replica.mysql.log_manager.last_sequence() == sequences_before["replica"] + 1
+        assert tailer.log_manager.last_sequence() == sequences_before["tailer"] + 1
+        # And replicated *content* stays identical.
+        assert (
+            primary.mysql.log_manager.content_checksum()
+            == replica.mysql.log_manager.content_checksum()
+            == tailer.log_manager.content_checksum()
+        )
+
+    def test_purge_refuses_unshipped_then_purges(self, cluster):
+        commands, primary = primary_commands(cluster)
+        # Cut a remote region so its watermark stalls below new entries.
+        cluster.net.isolate("region1-db1")
+        cluster.net.isolate("region1-lt1")
+        cluster.net.isolate("region1-lt2")
+        cluster.net.isolate("region1-lrn1")
+        commands.execute("FLUSH BINARY LOGS")
+        for i in range(10, 13):
+            cluster.write_and_run("t", {i: {"id": i}}, seconds=0.5)
+        target = primary.mysql.log_manager.current_file.name
+        purged = commands.execute(f"PURGE LOGS TO '{target}'")
+        # Files holding entries region1 hasn't received are refused; only
+        # the empty pre-promotion file may go.
+        manager = primary.mysql.log_manager
+        data_file = manager.index.names()[-2]  # the closed file with data
+        assert all(row["purged"] != data_file for row in purged)
+        assert data_file in manager.index
+        # Heal; watermarks advance; purge proceeds.
+        for name in ("region1-db1", "region1-lt1", "region1-lt2", "region1-lrn1"):
+            cluster.net.heal(name)
+        cluster.run(5.0)
+        commands.execute("FLUSH BINARY LOGS")
+        cluster.run(3.0)
+        target = primary.mysql.log_manager.current_file.name
+        purged = commands.execute(f"PURGE LOGS TO '{target}'")
+        assert any(row["purged"] == data_file for row in purged)
+
+    def test_purge_unknown_file_rejected(self, cluster):
+        commands, _ = primary_commands(cluster)
+        with pytest.raises(MySQLError, match="unknown log file"):
+            commands.execute("PURGE LOGS TO 'binary-logs-999999'")

@@ -1,0 +1,194 @@
+"""Binlog event codec tests: roundtrips, corruption detection, grouping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BinlogCorruptionError, BinlogError
+from repro.mysql.events import (
+    ConfigChangeEvent,
+    FormatDescriptionEvent,
+    GtidEvent,
+    NoOpEvent,
+    PreviousGtidsEvent,
+    QueryEvent,
+    RotateEvent,
+    RowsEvent,
+    TableMapEvent,
+    Transaction,
+    XidEvent,
+    decode_event,
+    decode_stream,
+    encode_events,
+    group_into_transactions,
+)
+from repro.raft.types import OpId
+
+UUID = "3E11FA47-71CA-11E1-9E33-C80AA9429562"
+
+SAMPLE_EVENTS = [
+    FormatDescriptionEvent("v1"),
+    PreviousGtidsEvent(f"{UUID}:1-5"),
+    GtidEvent(UUID, 6, OpId(3, 17)),
+    QueryEvent("BEGIN"),
+    TableMapEvent(1, "db", "users"),
+    RowsEvent("write", 1, ((None, {"id": 1, "name": "ann"}),)),
+    RowsEvent("update", 1, (({"id": 1, "name": "ann"}, {"id": 1, "name": "bob"}),)),
+    RowsEvent("delete", 1, (({"id": 1, "name": "bob"}, None),)),
+    XidEvent(42),
+    RotateEvent("binary-logs-000002", OpId(3, 18)),
+    NoOpEvent("host1", OpId(4, 19)),
+    ConfigChangeEvent("add", "host9", (("host1", "r1", "voter", True),), OpId(4, 20)),
+]
+
+
+class TestEventRoundtrip:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: type(e).__name__)
+    def test_encode_decode_roundtrip(self, event):
+        decoded, consumed = decode_event(event.encode())
+        assert decoded == event
+        assert consumed == len(event.encode())
+
+    def test_stream_roundtrip(self):
+        data = encode_events(SAMPLE_EVENTS)
+        assert list(decode_stream(data)) == SAMPLE_EVENTS
+
+    def test_decode_at_offset(self):
+        first, second = SAMPLE_EVENTS[0], SAMPLE_EVENTS[2]
+        data = first.encode() + second.encode()
+        decoded, _ = decode_event(data, offset=len(first.encode()))
+        assert decoded == second
+
+    def test_wire_size_matches_encoding(self):
+        for event in SAMPLE_EVENTS:
+            assert event.wire_size == len(event.encode())
+
+    def test_opid_none_roundtrip(self):
+        event = GtidEvent(UUID, 1, None)
+        decoded, _ = decode_event(event.encode())
+        assert decoded.opid is None
+
+
+class TestCorruption:
+    def test_flipped_byte_fails_checksum(self):
+        data = bytearray(GtidEvent(UUID, 1, OpId(1, 1)).encode())
+        data[7] ^= 0xFF
+        with pytest.raises(BinlogCorruptionError):
+            decode_event(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(BinlogCorruptionError):
+            decode_event(b"\x01\x00")
+
+    def test_truncated_payload(self):
+        data = QueryEvent("BEGIN").encode()
+        with pytest.raises(BinlogCorruptionError):
+            decode_event(data[:-3])
+
+    def test_unknown_type_code(self):
+        import struct
+        import zlib
+
+        payload = b"{}"
+        header = struct.pack("<BI", 200, len(payload))
+        frame = header + payload + struct.pack("<I", zlib.crc32(header + payload))
+        with pytest.raises(BinlogCorruptionError):
+            decode_event(frame)
+
+    def test_invalid_rows_kind(self):
+        with pytest.raises(BinlogError):
+            RowsEvent("upsert", 1, ())
+
+
+class TestTransaction:
+    def make_txn(self, txn_id=1, opid=None):
+        return Transaction(
+            events=(
+                GtidEvent(UUID, txn_id, opid),
+                QueryEvent("BEGIN"),
+                TableMapEvent(1, "db", "t"),
+                RowsEvent("write", 1, ((None, {"id": txn_id}),)),
+                XidEvent(txn_id),
+            )
+        )
+
+    def test_roundtrip(self):
+        txn = self.make_txn(opid=OpId(2, 9))
+        assert Transaction.decode(txn.encode()) == txn
+
+    def test_with_opid_stamps_gtid_event(self):
+        txn = self.make_txn()
+        stamped = txn.with_opid(OpId(5, 100))
+        assert stamped.opid == OpId(5, 100)
+        assert stamped.gtid_event.txn_id == 1
+        assert txn.opid is None  # original untouched
+
+    def test_with_opid_stamps_noop(self):
+        txn = Transaction(events=(NoOpEvent("h1", None),))
+        assert txn.with_opid(OpId(1, 1)).opid == OpId(1, 1)
+        assert not txn.is_data
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(BinlogError):
+            Transaction(events=())
+
+    def test_must_start_with_framing_event(self):
+        with pytest.raises(BinlogError):
+            Transaction(events=(QueryEvent("BEGIN"),))
+
+    def test_is_data(self):
+        assert self.make_txn().is_data
+        assert not Transaction(events=(RotateEvent("f", None),)).is_data
+
+
+class TestGrouping:
+    def test_groups_data_and_control(self):
+        txn = TestTransaction().make_txn(txn_id=1)
+        events = (
+            [FormatDescriptionEvent(), PreviousGtidsEvent("")]
+            + list(txn.events)
+            + [NoOpEvent("h1", OpId(1, 2))]
+            + list(TestTransaction().make_txn(txn_id=2).events)
+        )
+        groups = group_into_transactions(events)
+        assert len(groups) == 3
+        assert groups[0].gtid_event.txn_id == 1
+        assert isinstance(groups[1].events[0], NoOpEvent)
+        assert groups[2].gtid_event.txn_id == 2
+
+    def test_trailing_partial_rejected(self):
+        events = [GtidEvent(UUID, 1, None), QueryEvent("BEGIN")]
+        with pytest.raises(BinlogError):
+            group_into_transactions(events)
+
+    def test_control_event_inside_txn_rejected(self):
+        events = [GtidEvent(UUID, 1, None), NoOpEvent("h", None)]
+        with pytest.raises(BinlogError):
+            group_into_transactions(events)
+
+
+row_values = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(), st.text(max_size=12), st.none()),
+    max_size=4,
+)
+
+
+@given(
+    txn_id=st.integers(min_value=1, max_value=10**9),
+    term=st.integers(min_value=0, max_value=1000),
+    index=st.integers(min_value=0, max_value=10**9),
+    row=row_values,
+    xid=st.integers(min_value=0, max_value=10**12),
+)
+def test_transaction_roundtrip_property(txn_id, term, index, row, xid):
+    txn = Transaction(
+        events=(
+            GtidEvent(UUID, txn_id, OpId(term, index)),
+            QueryEvent("BEGIN"),
+            TableMapEvent(7, "db", "t"),
+            RowsEvent("write", 7, ((None, row),)),
+            XidEvent(xid),
+        )
+    )
+    assert Transaction.decode(txn.encode()) == txn

@@ -1,0 +1,199 @@
+"""Group-commit pipeline tests (§3.4's three stages)."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.mysql.events import GtidEvent, QueryEvent, Transaction, XidEvent
+from repro.mysql.pipeline import CommitPipeline, PipelineTxn
+from repro.raft.types import OpId
+from repro.sim.coro import SimFuture
+from repro.sim.host import Host
+from repro.sim.loop import EventLoop
+from repro.sim.network import FixedLatency, Network, NetworkSpec
+from repro.sim.rng import RngStream
+
+UUID = "3E11FA47-71CA-11E1-9E33-C80AA9429562"
+
+
+class PipelineWorld:
+    """A pipeline with scripted stage behaviour."""
+
+    def __init__(self, commit_delay=0.0):
+        self.loop = EventLoop()
+        net = Network(self.loop, RngStream(1), spec=NetworkSpec(in_region=FixedLatency(0.001)))
+        self.host = Host(self.loop, net, "h1", "r1")
+        self.host.attach_service(object())
+        self.flushed_groups = []
+        self.committed_groups = []
+        self.aborted = []
+        self.waiters = {}
+        self.next_index = 0
+        self.pipeline = CommitPipeline(
+            host=self.host,
+            flush_fn=self._flush,
+            wait_fn=self._wait,
+            commit_fn=self._commit,
+            flush_latency=lambda group_size: 0.001,
+            commit_latency=lambda: 0.0005,
+            abort_fn=lambda txn: self.aborted.append(txn),
+            name="test",
+        )
+
+    def _flush(self, group):
+        self.flushed_groups.append(list(group))
+        for txn in group:
+            self.next_index += 1
+            txn.opid = OpId(1, self.next_index)
+        return group[-1].opid
+
+    def _wait(self, opid):
+        future = SimFuture(self.loop, label=f"wait:{opid}")
+        self.waiters[opid.index] = future
+        return future
+
+    def _commit(self, group):
+        self.committed_groups.append(list(group))
+
+    def make_txn(self, txn_id):
+        payload = Transaction(
+            events=(GtidEvent(UUID, txn_id, None), QueryEvent("BEGIN"), XidEvent(txn_id))
+        )
+        return PipelineTxn(
+            payload=payload, engine_txn=None,
+            done=SimFuture(self.loop, label=f"txn{txn_id}"),
+        )
+
+    def release(self, index):
+        self.waiters[index].resolve(OpId(1, index))
+
+
+class TestPipelineStages:
+    def test_single_txn_flows_through(self):
+        world = PipelineWorld()
+        txn = world.make_txn(1)
+        done = world.pipeline.submit(txn)
+        world.loop.run_for(0.01)
+        assert len(world.flushed_groups) == 1
+        assert not done.done()  # stuck at consensus wait
+        world.release(1)
+        world.loop.run_for(0.01)
+        assert done.done() and done.result() == OpId(1, 1)
+        assert world.committed_groups == [[txn]]
+
+    def test_simultaneous_submits_form_one_group(self):
+        world = PipelineWorld()
+        txns = [world.make_txn(i) for i in range(1, 6)]
+        for txn in txns:
+            world.pipeline.submit(txn)
+        world.loop.run_for(0.01)
+        # All five arrived before the flush worker woke: one batch, one
+        # fsync — group commit working as intended.
+        assert len(world.flushed_groups) == 1
+        assert len(world.flushed_groups[0]) == 5
+
+    def test_arrivals_during_fsync_form_next_group(self):
+        world = PipelineWorld()
+        world.pipeline.submit(world.make_txn(1))
+        world.loop.run_for(0.0001)  # worker took group 1; fsync in progress
+        world.pipeline.submit(world.make_txn(2))
+        world.pipeline.submit(world.make_txn(3))
+        world.loop.run_for(0.01)
+        assert [len(g) for g in world.flushed_groups] == [1, 2]
+
+    def test_groups_commit_in_order(self):
+        # The wait stage is serial: group 2's consensus wait doesn't even
+        # begin until group 1 passes, so commits are strictly ordered.
+        world = PipelineWorld()
+        world.pipeline.submit(world.make_txn(1))
+        world.loop.run_for(0.0001)
+        world.pipeline.submit(world.make_txn(2))
+        world.pipeline.submit(world.make_txn(3))
+        world.loop.run_for(0.01)
+        assert len(world.flushed_groups) == 2
+        assert list(world.waiters) == [1]  # only group 1 is waiting
+        assert world.committed_groups == []
+        world.release(1)
+        world.loop.run_for(0.01)
+        assert [len(g) for g in world.committed_groups] == [1]
+        assert list(world.waiters) == [1, 3]  # group 2 now waits on its last
+        world.release(3)
+        world.loop.run_for(0.01)
+        assert [len(g) for g in world.committed_groups] == [1, 2]
+
+    def test_wait_failure_aborts_group_only(self):
+        world = PipelineWorld()
+        first = world.make_txn(1)
+        world.pipeline.submit(first)
+        world.loop.run_for(0.01)
+        second = world.make_txn(2)
+        world.pipeline.submit(second)
+        world.loop.run_for(0.01)
+        world.waiters[1].fail(TransactionAborted("demoted"))
+        world.loop.run_for(0.01)
+        assert first.done.failed()
+        assert first in world.aborted
+        # Second group proceeds independently.
+        world.release(2)
+        world.loop.run_for(0.01)
+        assert second.done.done() and not second.done.failed()
+
+    def test_abort_all_fails_everything(self):
+        world = PipelineWorld()
+        txns = [world.make_txn(i) for i in range(1, 4)]
+        for txn in txns:
+            world.pipeline.submit(txn)
+        world.loop.run_for(0.01)
+        victims = world.pipeline.abort_all("demotion")
+        world.loop.run_for(0.01)
+        assert len(victims) == 3
+        assert all(t.done.failed() for t in txns)
+        assert {id(t) for t in world.aborted} >= {id(t) for t in txns}
+
+    def test_submit_after_stop_fails_immediately(self):
+        world = PipelineWorld()
+        world.pipeline.stop("teardown")
+        txn = world.make_txn(1)
+        done = world.pipeline.submit(txn)
+        world.loop.run_for(0.01)
+        assert done.failed()
+
+    def test_flush_exception_aborts_group(self):
+        world = PipelineWorld()
+
+        def broken_flush(group):
+            raise TransactionAborted("not leader")
+
+        world.pipeline._flush_fn = broken_flush
+        txn = world.make_txn(1)
+        done = world.pipeline.submit(txn)
+        world.loop.run_for(0.01)
+        assert done.failed()
+        with pytest.raises(TransactionAborted):
+            done.result()
+
+    def test_depth_tracks_in_flight(self):
+        world = PipelineWorld()
+        assert world.pipeline.depth == 0
+        world.pipeline.submit(world.make_txn(1))
+        world.loop.run_for(0.01)
+        assert world.pipeline.depth == 1
+        world.release(1)
+        world.loop.run_for(0.01)
+        assert world.pipeline.depth == 0
+
+    def test_counters(self):
+        world = PipelineWorld()
+        world.pipeline.submit(world.make_txn(1))
+        world.loop.run_for(0.0001)
+        world.pipeline.submit(world.make_txn(2))
+        world.pipeline.submit(world.make_txn(3))
+        world.loop.run_for(0.01)
+        released = set()
+        for _ in range(4):  # waiters register serially, one group at a time
+            for index in list(world.waiters):
+                if index not in released:
+                    world.release(index)
+                    released.add(index)
+            world.loop.run_for(0.01)
+        assert world.pipeline.txns_committed == 3
+        assert world.pipeline.groups_flushed == 2

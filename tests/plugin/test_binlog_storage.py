@@ -1,0 +1,173 @@
+"""BinlogRaftLogStorage: the log abstraction specialized to binlogs."""
+
+import pytest
+
+from repro.errors import LogTruncatedError, RaftError
+from repro.mysql.events import (
+    ConfigChangeEvent,
+    GtidEvent,
+    NoOpEvent,
+    QueryEvent,
+    RotateEvent,
+    RowsEvent,
+    TableMapEvent,
+    Transaction,
+    XidEvent,
+)
+from repro.mysql.gtid import Gtid
+from repro.mysql.log_manager import MySQLLogManager
+from repro.plugin.binlog_storage import BinlogRaftLogStorage
+from repro.raft.log_storage import (
+    ENTRY_KIND_CONFIG,
+    ENTRY_KIND_DATA,
+    ENTRY_KIND_NOOP,
+    ENTRY_KIND_ROTATE,
+    LogEntry,
+)
+from repro.raft.types import OpId
+
+UUID = "3E11FA47-71CA-11E1-9E33-C80AA9429562"
+
+
+def data_entry(index, term=1, txn_id=None):
+    txn = Transaction(
+        events=(
+            GtidEvent(UUID, txn_id or index, OpId(term, index)),
+            QueryEvent("BEGIN"),
+            TableMapEvent(1, "db", "t"),
+            RowsEvent("write", 1, ((None, {"id": index}),)),
+            XidEvent(index),
+        )
+    )
+    return LogEntry(OpId(term, index), txn.encode(), ENTRY_KIND_DATA)
+
+
+def noop_entry(index, term, leader="n1"):
+    txn = Transaction(events=(NoOpEvent(leader, OpId(term, index)),))
+    return LogEntry(OpId(term, index), txn.encode(), ENTRY_KIND_NOOP)
+
+
+def rotate_entry(index, term=1):
+    txn = Transaction(events=(RotateEvent("next", OpId(term, index)),))
+    return LogEntry(OpId(term, index), txn.encode(), ENTRY_KIND_ROTATE)
+
+
+def config_entry(index, term, members):
+    txn = Transaction(events=(ConfigChangeEvent("add", "x", members, OpId(term, index)),))
+    return LogEntry(OpId(term, index), txn.encode(), ENTRY_KIND_CONFIG, members)
+
+
+@pytest.fixture
+def storage():
+    return BinlogRaftLogStorage(MySQLLogManager({}))
+
+
+class TestAppendAndRead:
+    def test_roundtrip(self, storage):
+        entry = data_entry(1)
+        storage.append([entry])
+        read = storage.entry(1)
+        assert read.opid == entry.opid
+        assert read.payload == entry.payload
+        assert read.kind == ENTRY_KIND_DATA
+        assert storage.last_opid() == OpId(1, 1)
+        assert storage.opid_at(1) == OpId(1, 1)
+
+    def test_append_gap_rejected(self, storage):
+        storage.append([data_entry(1)])
+        with pytest.raises(RaftError):
+            storage.append([data_entry(3)])
+
+    def test_opid_mismatch_rejected(self, storage):
+        txn = Transaction(events=(NoOpEvent("n1", OpId(2, 2)),))
+        bad = LogEntry(OpId(1, 1), txn.encode(), ENTRY_KIND_NOOP)
+        with pytest.raises(RaftError):
+            storage.append([bad])
+
+    def test_rotate_entry_rotates_underlying_file(self, storage):
+        storage.append([data_entry(1), rotate_entry(2), data_entry(3)])
+        assert storage.log_manager.last_sequence() == 2
+        # Reads span file boundaries transparently.
+        assert storage.entry(3).opid == OpId(1, 3)
+
+    def test_read_range_respects_limits(self, storage):
+        storage.append([data_entry(i) for i in range(1, 10)])
+        entries = storage.read_range(3, max_entries=4, max_bytes=1 << 20)
+        assert [e.opid.index for e in entries] == [3, 4, 5, 6]
+
+    def test_term_at(self, storage):
+        storage.append([data_entry(1, term=1), noop_entry(2, term=3)])
+        assert storage.term_at(0) == 0
+        assert storage.term_at(1) == 1
+        assert storage.term_at(2) == 3
+        assert storage.term_at(5) is None
+
+
+class TestRebuild:
+    def test_index_rebuilds_from_file_bytes(self):
+        durable = {}
+        mgr = MySQLLogManager(durable)
+        storage = BinlogRaftLogStorage(mgr)
+        storage.append([data_entry(1), rotate_entry(2), data_entry(3)])
+        # Crash: new manager + storage over the same durable dict.
+        recovered = BinlogRaftLogStorage(MySQLLogManager(durable))
+        assert recovered.last_opid() == OpId(1, 3)
+        assert recovered.entry(1).kind == ENTRY_KIND_DATA
+        assert recovered.entry(2).kind == ENTRY_KIND_ROTATE
+        assert recovered.first_index() == 1
+
+    def test_config_metadata_rebuilt(self):
+        durable = {}
+        storage = BinlogRaftLogStorage(MySQLLogManager(durable))
+        members = (("n1", "r1", "voter", True), ("n2", "r1", "voter", False))
+        storage.append([config_entry(1, 1, members)])
+        recovered = BinlogRaftLogStorage(MySQLLogManager(durable))
+        assert recovered.entry(1).metadata == members
+
+
+class TestTruncation:
+    def test_truncate_returns_removed_and_strips_gtids(self, storage):
+        storage.append([data_entry(i) for i in range(1, 5)])
+        assert Gtid(UUID, 3) in storage.log_manager.log_gtids
+        removed = storage.truncate_from(3)
+        assert [e.opid.index for e in removed] == [3, 4]
+        assert storage.last_opid() == OpId(1, 2)
+        assert Gtid(UUID, 3) not in storage.log_manager.log_gtids
+        assert Gtid(UUID, 2) in storage.log_manager.log_gtids
+
+    def test_truncate_across_file_boundary(self, storage):
+        storage.append([data_entry(1), rotate_entry(2)])
+        storage.append([data_entry(3), data_entry(4)])
+        removed = storage.truncate_from(2)
+        assert [e.opid.index for e in removed] == [2, 3, 4]
+        assert storage.last_opid() == OpId(1, 1)
+        # Appends continue cleanly after a cross-file truncation.
+        storage.append([noop_entry(2, term=2)])
+        assert storage.entry(2).kind == ENTRY_KIND_NOOP
+
+    def test_truncate_nothing(self, storage):
+        storage.append([data_entry(1)])
+        assert storage.truncate_from(5) == []
+
+
+class TestPurging:
+    def test_purge_whole_files_below_horizon(self, storage):
+        storage.append([data_entry(1), rotate_entry(2)])
+        storage.append([data_entry(3), rotate_entry(4)])
+        storage.append([data_entry(5)])
+        purged = storage.purge_files_below(horizon_index=5)
+        assert len(purged) == 2
+        assert storage.first_index() == 5
+        with pytest.raises(LogTruncatedError):
+            storage.entry(1)
+        assert storage.entry(5) is not None
+
+    def test_purge_refuses_entries_above_horizon(self, storage):
+        storage.append([data_entry(1), rotate_entry(2)])
+        storage.append([data_entry(3)])
+        purged = storage.purge_files_below(horizon_index=2)
+        assert purged == []  # file 1 contains index 2 == horizon
+
+    def test_never_purges_current_file(self, storage):
+        storage.append([data_entry(1)])
+        assert storage.purge_files_below(horizon_index=100) == []

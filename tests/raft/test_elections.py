@@ -1,0 +1,215 @@
+"""Election behaviour: natural elections, failover, stickiness, pre-vote."""
+
+import pytest
+
+from repro.errors import RaftError
+from repro.raft.types import RaftRole
+
+from tests.raft.harness import RaftRing, three_node_ring, five_node_ring, voter
+
+
+class TestNaturalElection:
+    def test_a_leader_emerges_from_cold_start(self):
+        ring = three_node_ring()
+        leader = ring.wait_for_leader()
+        assert leader.role == RaftRole.LEADER
+        assert leader.current_term >= 1
+
+    def test_exactly_one_leader_per_term(self):
+        ring = five_node_ring(seed=7)
+        ring.wait_for_leader()
+        ring.run(10.0)
+        by_term = {}
+        for record in ring.tracer.of_kind("raft.leader_elected"):
+            term = record.get("term")
+            node = record.get("node")
+            by_term.setdefault(term, set()).add(node)
+        assert by_term, "no elections traced"
+        for term, leaders in by_term.items():
+            assert len(leaders) == 1, f"term {term} elected {leaders}"
+
+    def test_followers_learn_leader_id(self):
+        ring = three_node_ring()
+        leader = ring.wait_for_leader()
+        ring.run(2.0)
+        for node in ring.nodes.values():
+            assert node.leader_id == leader.name
+
+    def test_bootstrap_shortcut(self):
+        ring = three_node_ring()
+        leader = ring.bootstrap("n1")
+        assert leader.is_leader
+        assert leader.current_term == 1
+        assert ring.node("n2").leader_id == "n1"
+
+    def test_bootstrap_requires_fresh_node(self):
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        with pytest.raises(RaftError):
+            ring.node("n1").bootstrap_as_initial_leader()
+
+
+class TestFailover:
+    def test_dead_leader_replaced(self):
+        ring = three_node_ring()
+        first = ring.bootstrap("n1")
+        ring.host(first.name).crash()
+        new_leader = ring.wait_for_leader()
+        assert new_leader.name != first.name
+        assert new_leader.current_term > first.current_term
+
+    def test_failover_detection_time_matches_heartbeat_config(self):
+        # 500ms heartbeats, 3 misses => detection ~1.5s + jitter (§6.2).
+        ring = three_node_ring(seed=3)
+        ring.bootstrap("n1")
+        ring.run(1.0)
+        crash_time = ring.loop.now
+        ring.host("n1").crash()
+        new_leader = ring.wait_for_leader()
+        elected = ring.tracer.last("raft.leader_elected")
+        downtime = elected.time - crash_time
+        base = ring.config.election_timeout_base()
+        assert base * 0.9 <= downtime <= base + ring.config.election_timeout_jitter + 2.0
+        assert new_leader.name != "n1"
+
+    def test_erstwhile_leader_demotes_on_rejoin(self):
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        ring.host("n1").crash()
+        ring.wait_for_leader()
+        ring.host("n1").restart()
+        ring.run(3.0)
+        n1 = ring.node("n1")
+        assert n1.role == RaftRole.FOLLOWER
+        assert n1.leader_id is not None
+        assert n1.leader_id != "n1"
+
+    def test_fenced_leader_cannot_commit(self):
+        # Isolate the leader; a new one takes over; the old one's proposals
+        # must never commit (term fencing).
+        ring = three_node_ring(seed=5)
+        old = ring.bootstrap("n1")
+        ring.net.isolate("n1")
+        stale_opid, stale_future = old.propose(lambda opid: b"stale")
+        new_leader = ring.wait_for_leader(exclude="n1")
+        assert new_leader.name != "n1"
+        ring.net.heal("n1")
+        ring.run(5.0)
+        assert stale_future.failed()
+        # and the stale entry is gone from the old leader's log
+        entry = ring.node("n1").storage.entry(stale_opid.index)
+        assert entry is None or entry.opid != stale_opid
+
+    def test_minority_partition_cannot_elect(self):
+        ring = five_node_ring(seed=11)
+        ring.bootstrap("n1")
+        ring.net.isolate("n4")
+        ring.net.isolate("n5")
+        # n4/n5 can talk to nobody; even together they're a minority.
+        ring.run(15.0)
+        for name in ("n4", "n5"):
+            assert ring.node(name).role != RaftRole.LEADER
+
+    def test_majority_partition_still_elects(self):
+        ring = five_node_ring(seed=13)
+        ring.bootstrap("n1")
+        ring.run(1.0)
+        # Cut the leader plus one follower away from the other three.
+        for a in ("n1", "n2"):
+            for b in ("n3", "n4", "n5"):
+                ring.net.block_link(a, b)
+        ring.run(10.0)
+        majority_side = [ring.node(n) for n in ("n3", "n4", "n5")]
+        assert any(n.role == RaftRole.LEADER for n in majority_side)
+
+
+class TestVoteRules:
+    def test_vote_denied_to_shorter_log(self):
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        for _ in range(3):
+            ring.commit_and_run()
+        # Freeze n3 before it can catch up? It already has the entries.
+        # Instead: append one entry only reachable by n2.
+        ring.net.isolate("n3")
+        ring.commit_and_run(b"only-n2")
+        ring.net.heal("n3")
+        # Kill the leader; n3 (shorter log) must not win over n2.
+        ring.host("n1").crash()
+        new_leader = ring.wait_for_leader()
+        assert new_leader.name == "n2"
+
+    def test_pre_vote_gated_candidate_cannot_disrupt_live_leader(self):
+        # The normal (pre-vote) path: a node that spuriously campaigns is
+        # denied pre-votes by stickiness, never bumps any term, and the
+        # leader stays exactly where it was.
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        ring.run(1.0)
+        term_before = ring.node("n1").current_term
+        ring.node("n3")._start_pre_vote()
+        ring.run(3.0)
+        assert ring.node("n1").role == RaftRole.LEADER
+        assert ring.node("n1").current_term == term_before
+        assert ring.node("n3").role == RaftRole.FOLLOWER
+
+    def test_forced_election_converges_to_single_leader(self):
+        # Bypassing pre-vote (abnormal operation) may depose the leader via
+        # the higher-term response path — standard Raft — but the ring must
+        # converge back to exactly one leader everyone follows, and the
+        # disruptive candidate is denied by stickiness in the moment.
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        ring.run(1.0)
+        ring.node("n3").start_election()
+        ring.run(0.3)
+        assert ring.node("n3").role != RaftRole.LEADER
+        ring.run(15.0)
+        leader = ring.current_leader()
+        assert leader is not None
+        followers = [n for n in ring.nodes.values() if n.name != leader.name]
+        assert all(n.leader_id == leader.name for n in followers)
+        assert all(n.role == RaftRole.FOLLOWER for n in followers)
+
+    def test_single_node_ring_self_elects_and_commits(self):
+        ring = RaftRing([voter("solo")])
+        leader = ring.wait_for_leader()
+        assert leader.name == "solo"
+        opid, future = leader.propose(lambda o: b"alone")
+        ring.run(0.5)
+        assert future.done() and not future.failed()
+        assert leader.commit_index == opid.index
+
+
+class TestRestartRecovery:
+    def test_term_and_vote_survive_restart(self):
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        ring.run(2.0)
+        term_before = ring.node("n2").current_term
+        ring.host("n2").crash()
+        ring.run(1.0)
+        ring.host("n2").restart()
+        assert ring.node("n2").current_term >= term_before
+
+    def test_log_survives_restart(self):
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        opid, _ = ring.commit_and_run(b"durable")
+        ring.host("n2").crash()
+        ring.host("n2").restart()
+        entry = ring.node("n2").storage.entry(opid.index)
+        assert entry is not None
+        assert entry.payload == b"durable"
+
+    def test_restarted_node_rejoins_and_catches_up(self):
+        ring = three_node_ring()
+        ring.bootstrap("n1")
+        ring.host("n3").crash()
+        opids = [ring.commit_and_run(f"e{i}".encode())[0] for i in range(3)]
+        ring.host("n3").restart()
+        ring.run(3.0)
+        n3 = ring.node("n3")
+        for opid in opids:
+            entry = n3.storage.entry(opid.index)
+            assert entry is not None and entry.opid == opid

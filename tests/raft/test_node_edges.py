@@ -1,0 +1,143 @@
+"""Raft node edge cases: transfers racing faults, restarts mid-operation,
+message-loss resilience, purge interplay."""
+
+import pytest
+
+from repro.raft.config import RaftConfig
+from repro.raft.types import RaftRole
+from repro.sim.network import LogNormalLatency, NetworkSpec
+
+from tests.raft.harness import RaftRing, three_node_ring, voter
+
+
+class TestTransferEdges:
+    def test_target_crashes_mid_transfer(self):
+        ring = three_node_ring(seed=71)
+        ring.bootstrap("n1")
+        ring.commit_and_run(b"x")
+        future = ring.node("n1").transfer_leadership("n2")
+        ring.host("n2").crash()
+        ring.run(10.0)
+        assert future.done()
+        # Whatever happened, the ring converges with a live leader and
+        # accepts writes again (n1 unquiesces on failure, or n3 leads).
+        leader = ring.wait_for_leader(exclude="n2")
+        _, fut = leader.propose(lambda o: b"after")
+        ring.run(2.0)
+        assert fut.done() and not fut.failed()
+
+    def test_leader_crashes_mid_transfer(self):
+        ring = three_node_ring(seed=73)
+        ring.bootstrap("n1")
+        ring.commit_and_run(b"x")
+        ring.node("n1").transfer_leadership("n2")
+        ring.run(0.01)  # mock election in flight
+        ring.host("n1").crash()
+        new_leader = ring.wait_for_leader(exclude="n1")
+        assert new_leader.name in ("n2", "n3")
+
+    def test_failed_transfer_unquiesces(self):
+        # Mock election cannot complete (target isolated): the transfer
+        # aborts and the leader keeps accepting writes.
+        ring = three_node_ring(seed=79)
+        ring.bootstrap("n1")
+        ring.net.isolate("n2")
+        future = ring.node("n1").transfer_leadership("n2")
+        ring.run(5.0)
+        assert future.done() and future.result() is False
+        _, fut = ring.node("n1").propose(lambda o: b"still-leading")
+        ring.run(2.0)
+        assert fut.done() and not fut.failed()
+
+
+class TestRestartEdges:
+    def test_candidate_restart_recovers(self):
+        ring = three_node_ring(seed=83)
+        ring.bootstrap("n1")
+        ring.host("n1").crash()
+        # Let someone become candidate, then crash them mid-election.
+        ring.run(1.6)
+        candidates = [n for n in ring.nodes.values() if n.role == RaftRole.CANDIDATE]
+        for candidate in candidates:
+            ring.host(candidate.name).crash()
+            ring.host(candidate.name).restart()
+        new_leader = ring.wait_for_leader(exclude="n1")
+        assert new_leader is not None
+
+    def test_rapid_crash_restart_cycles(self):
+        ring = three_node_ring(seed=89)
+        ring.bootstrap("n1")
+        for cycle in range(4):
+            ring.commit_and_run(f"c{cycle}".encode(), seconds=0.5)
+            ring.host("n3").crash()
+            ring.run(0.3)
+            ring.host("n3").restart()
+            ring.run(0.5)
+        ring.run(3.0)
+        assert ring.node("n3").last_opid.index == ring.node("n1").last_opid.index
+        assert ring.logs_consistent_up_to_commit()
+
+    def test_whole_ring_power_cycle(self):
+        ring = three_node_ring(seed=97)
+        ring.bootstrap("n1")
+        opids = [ring.commit_and_run(f"d{i}".encode())[0] for i in range(3)]
+        for name in ("n1", "n2", "n3"):
+            ring.host(name).crash()
+        ring.run(1.0)
+        for name in ("n1", "n2", "n3"):
+            ring.host(name).restart()
+        leader = ring.wait_for_leader()
+        # Everything committed before the outage survives.
+        for opid in opids:
+            entry = leader.storage.entry(opid.index)
+            assert entry is not None and entry.opid == opid
+
+
+class TestMessageLoss:
+    def test_replication_survives_lossy_network(self):
+        spec = NetworkSpec(
+            in_region=LogNormalLatency(1e-3, 0.3, floor=2e-4),
+            loss_probability=0.05,  # 5% of messages vanish
+        )
+        ring = RaftRing(
+            [voter(f"n{i}") for i in range(1, 4)], seed=7, network_spec=spec
+        )
+        ring.bootstrap("n1")
+        futures = []
+        for i in range(30):
+            leader = ring.current_leader()
+            if leader is not None:
+                try:
+                    _, fut = leader.propose(lambda o, i=i: f"lossy{i}".encode())
+                    futures.append(fut)
+                except Exception:  # noqa: BLE001
+                    pass
+            ring.run(0.2)
+        ring.run(10.0)
+        committed = sum(1 for f in futures if f.done() and not f.failed())
+        assert committed >= 25, f"only {committed}/30 committed under loss"
+        assert ring.logs_consistent_up_to_commit()
+
+
+class TestPurgeInterplay:
+    def test_lagging_follower_blocked_by_purge_horizon(self):
+        """The leader must not purge entries a region still needs; the
+        safe-horizon heuristic keeps the laggard recoverable (§A.1)."""
+        from repro.flexiraft.watermarks import safe_purge_horizon
+
+        ring = three_node_ring(seed=31)
+        ring.bootstrap("n1")
+        ring.net.isolate("n3")
+        for i in range(10):
+            ring.commit_and_run(f"p{i}".encode(), seconds=0.1)
+        leader = ring.node("n1")
+        horizon = safe_purge_horizon(leader.membership, leader.leader_state.match_of)
+        # n3 has nothing new: with all members in one region the majority
+        # watermark can pass it, but the per-member match shows the truth.
+        assert leader.leader_state.match_of("n3") <= 1
+        # Purge only below the horizon; then n3 must still catch up fine
+        # (its gap is served either from retained entries or not purged).
+        leader.storage.purge_below(min(horizon, leader.leader_state.match_of("n3") + 1))
+        ring.net.heal("n3")
+        ring.run(5.0)
+        assert ring.node("n3").last_opid.index == leader.last_opid.index

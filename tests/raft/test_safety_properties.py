@@ -1,0 +1,114 @@
+"""Property-based Raft safety tests: hypothesis drives fault schedules.
+
+For arbitrary crash/restart/partition schedules, the core Raft safety
+properties must hold:
+
+- **election safety**: at most one leader per term;
+- **log matching / state machine safety**: any two nodes agree on every
+  entry both consider committed;
+- **durability of acknowledged writes**: a proposal whose consensus
+  future resolved must survive on whoever ends up leading.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flexiraft import FlexiMode, FlexiRaftPolicy
+
+from tests.raft.harness import RaftRing, voter, witness
+
+NODES = ["n1", "n2", "n3", "n4", "n5"]
+
+fault_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["crash", "restart", "isolate", "heal", "write", "run"]),
+        st.integers(min_value=0, max_value=4),  # node index
+        st.floats(min_value=0.05, max_value=2.0),  # duration for "run"
+    ),
+    min_size=3,
+    max_size=14,
+)
+
+
+def apply_schedule(ring, schedule):
+    """Execute a fault schedule; returns futures of acknowledged writes."""
+    acknowledged = []
+    write_counter = [0]
+    for action, node_index, duration in schedule:
+        name = NODES[node_index % len(NODES)]
+        if action == "crash":
+            ring.host(name).crash()
+        elif action == "restart":
+            ring.host(name).restart()
+        elif action == "isolate":
+            ring.net.isolate(name)
+        elif action == "heal":
+            ring.net.heal(name)
+        elif action == "write":
+            leader = ring.current_leader()
+            if leader is not None and ring.host(leader.name).alive:
+                write_counter[0] += 1
+                payload = f"w{write_counter[0]}".encode()
+                try:
+                    _, future = leader.propose(lambda o, p=payload: p)
+                    acknowledged.append((payload, future))
+                except Exception:  # noqa: BLE001 - racing a demotion is fine
+                    pass
+            ring.run(0.05)
+        elif action == "run":
+            ring.run(duration)
+    # Heal everything and let the ring converge.
+    ring.net.heal_all()
+    for name in NODES:
+        if not ring.host(name).alive:
+            ring.host(name).restart()
+    ring.run(15.0)
+    return acknowledged
+
+
+def assert_safety(ring, acknowledged):
+    # Election safety: at most one leader elected per term, ever.
+    by_term = {}
+    for record in ring.tracer.of_kind("raft.leader_elected"):
+        by_term.setdefault(record.get("term"), set()).add(record.get("node"))
+    for term, leaders in by_term.items():
+        assert len(leaders) == 1, f"term {term} elected {leaders}"
+
+    # State machine safety: committed prefixes agree pairwise.
+    assert ring.logs_consistent_up_to_commit()
+
+    # Acknowledged writes survive: any write whose future resolved must be
+    # present in the final leader's log at its assigned index.
+    leader = ring.current_leader()
+    assert leader is not None, "ring did not converge to a leader"
+    for payload, future in acknowledged:
+        if future.done() and not future.failed():
+            opid = future.result()
+            entry = leader.storage.entry(opid.index)
+            assert entry is not None, f"acked {payload} missing at {opid}"
+            assert entry.payload == payload
+            assert entry.opid == opid
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=fault_steps, seed=st.integers(min_value=1, max_value=10_000))
+def test_majority_quorum_safety_under_faults(schedule, seed):
+    ring = RaftRing([voter(n) for n in NODES], seed=seed)
+    ring.bootstrap("n1")
+    acknowledged = apply_schedule(ring, schedule)
+    assert_safety(ring, acknowledged)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=fault_steps, seed=st.integers(min_value=1, max_value=10_000))
+def test_flexiraft_safety_under_faults(schedule, seed):
+    members = [
+        voter("n1", "r1"), witness("n2", "r1"), witness("n3", "r1"),
+        voter("n4", "r2"), voter("n5", "r2"),
+    ]
+    ring = RaftRing(
+        members, seed=seed, policy=FlexiRaftPolicy(FlexiMode.SINGLE_REGION_DYNAMIC)
+    )
+    ring.bootstrap("n1")
+    acknowledged = apply_schedule(ring, schedule)
+    assert_safety(ring, acknowledged)

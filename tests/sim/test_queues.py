@@ -1,0 +1,70 @@
+"""AsyncQueue tests."""
+
+import pytest
+
+from repro.sim.coro import spawn
+from repro.sim.loop import EventLoop
+from repro.sim.queues import AsyncQueue
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+class TestAsyncQueue:
+    def test_put_then_get(self, loop):
+        queue = AsyncQueue(loop)
+        queue.put("a")
+        future = queue.get()
+        assert future.done() and future.result() == "a"
+
+    def test_get_then_put_wakes_getter(self, loop):
+        queue = AsyncQueue(loop)
+        future = queue.get()
+        assert not future.done()
+        queue.put("b")
+        assert future.result() == "b"
+
+    def test_fifo_order(self, loop):
+        queue = AsyncQueue(loop)
+        for item in ("a", "b", "c"):
+            queue.put(item)
+        assert [queue.get().result() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_drain(self, loop):
+        queue = AsyncQueue(loop)
+        for i in range(3):
+            queue.put(i)
+        assert queue.drain() == [0, 1, 2]
+        assert len(queue) == 0
+
+    def test_close_fails_pending_getters(self, loop):
+        queue = AsyncQueue(loop, name="q")
+        future = queue.get()
+        leftovers = queue.close(RuntimeError("teardown"))
+        assert leftovers == []
+        loop.run_for(0.01)
+        assert future.failed()
+
+    def test_close_returns_leftovers_and_ignores_puts(self, loop):
+        queue = AsyncQueue(loop)
+        queue.put(1)
+        assert queue.close() == [1]
+        queue.put(2)
+        assert len(queue) == 0
+
+    def test_worker_coroutine_consumption(self, loop):
+        queue = AsyncQueue(loop)
+        seen = []
+
+        def worker():
+            while len(seen) < 3:
+                item = yield queue.get()
+                seen.append(item)
+
+        spawn(loop, worker())
+        for i in range(3):
+            loop.call_after(0.1 * (i + 1), queue.put, i)
+        loop.run_for(1.0)
+        assert seen == [0, 1, 2]

@@ -1,0 +1,64 @@
+"""Determinism tests for hierarchical RNG streams."""
+
+from repro.sim.rng import RngStream
+
+
+def test_same_seed_same_draws():
+    a = RngStream(42)
+    b = RngStream(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = RngStream(1)
+    b = RngStream(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_child_streams_are_independent_of_draw_order():
+    # Deriving child B before or after consuming child A must not matter.
+    root1 = RngStream(7)
+    a1 = root1.child("a")
+    a1_draws = [a1.random() for _ in range(5)]
+    b1 = root1.child("b")
+    b1_draws = [b1.random() for _ in range(5)]
+
+    root2 = RngStream(7)
+    b2 = root2.child("b")
+    b2_draws = [b2.random() for _ in range(5)]
+    a2 = root2.child("a")
+    a2_draws = [a2.random() for _ in range(5)]
+
+    assert a1_draws == a2_draws
+    assert b1_draws == b2_draws
+
+
+def test_child_label_changes_stream():
+    root = RngStream(7)
+    assert root.child("x").random() != root.child("y").random()
+
+
+def test_nested_children_stable():
+    assert RngStream(3).child("a").child("b").random() == RngStream(3).child("a").child("b").random()
+
+
+def test_lognormal_from_median_is_positive_and_centered():
+    rng = RngStream(11)
+    draws = [rng.lognormal_from_median(0.010, 0.25) for _ in range(2000)]
+    assert all(d > 0 for d in draws)
+    draws.sort()
+    median = draws[len(draws) // 2]
+    assert 0.009 < median < 0.011
+
+
+def test_jittered_stays_in_band():
+    rng = RngStream(5)
+    for _ in range(100):
+        value = rng.jittered(10.0, 0.2)
+        assert 8.0 <= value <= 12.0
+
+
+def test_bernoulli_extremes():
+    rng = RngStream(9)
+    assert not any(rng.bernoulli(0.0) for _ in range(50))
+    assert all(rng.bernoulli(1.0) for _ in range(50))
