@@ -17,7 +17,7 @@ from repro.mysql.timing import TimingProfile, myraft_profile
 from repro.plugin.logtailer import LogtailerService
 from repro.plugin.raft_plugin import MyRaftServer
 from repro.raft.config import RaftConfig
-from repro.raft.proxy import RegionProxyRouter
+from repro.raft.proxy import router_for
 from repro.raft.quorum import QuorumPolicy
 from repro.cluster.topology import ReplicaSetSpec
 from repro.sim.host import Host
@@ -63,7 +63,7 @@ class MyRaftReplicaset:
             raise ReproError("proxying=True requires raft_config.enable_proxying")
         self.policy = policy or FlexiRaftPolicy(FlexiMode.SINGLE_REGION_DYNAMIC)
         self.timing = timing or myraft_profile()
-        router = RegionProxyRouter() if self.raft_config.enable_proxying else None
+        router = router_for(self.raft_config)
 
         self.hosts: dict[str, Host] = {}
         self.services: dict[str, Any] = {}
@@ -155,6 +155,46 @@ class MyRaftReplicaset:
 
     def restart(self, name: str) -> None:
         self.hosts[name].restart()
+
+    def reimage_member(self, name: str) -> Any:
+        """Replace ``name`` with a factory-fresh member: wipe the disk and
+        start a brand-new service with an empty log. This is the worst-case
+        bootstrap the snapshot subsystem exists for — the member rejoins
+        holding nothing and must be caught up from the ring."""
+        member = self.membership.member(name)
+        if member is None:
+            raise ReproError(f"unknown member {name!r}")
+        host = self.hosts[name]
+        if host.alive:
+            host.crash()
+        host.disk.wipe()
+        host.resurrect()
+        router = router_for(self.raft_config)
+        if member.has_storage_engine:
+            service: Any = MyRaftServer(
+                host=host,
+                membership=self.membership,
+                policy=self.policy,
+                raft_config=self.raft_config,
+                timing=self.timing,
+                rng=self.rng,
+                router=router,
+                discovery=self.discovery,
+                replicaset=self.spec.replicaset_id,
+            )
+        else:
+            service = LogtailerService(
+                host=host,
+                membership=self.membership,
+                policy=self.policy,
+                raft_config=self.raft_config,
+                timing=self.timing,
+                rng=self.rng,
+                router=router,
+            )
+        host.replace_service(service)
+        self.services[name] = service
+        return service
 
     # -- operations -------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.errors import ControlPlaneError, MembershipError
 from repro.plugin.logtailer import LogtailerService
 from repro.plugin.raft_plugin import MyRaftServer
+from repro.raft.proxy import router_for
 from repro.raft.types import MemberInfo, MemberType
 from repro.sim.host import Host
 
@@ -44,11 +45,7 @@ class MembershipAutomation:
         host = Host(cluster.loop, cluster.net, member.name, member.region,
                     tracer=cluster.tracer)
         membership_with_new = cluster.membership.with_added(member, 0)
-        router = None
-        if cluster.raft_config.enable_proxying:
-            from repro.raft.proxy import RegionProxyRouter
-
-            router = RegionProxyRouter()
+        router = router_for(cluster.raft_config)
         if member.has_storage_engine:
             service = MyRaftServer(
                 host=host,

@@ -22,10 +22,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ControlPlaneError
-from repro.mysql.gtid import GtidSet
-from repro.mysql.tables import Table
 from repro.plugin.raft_plugin import MyRaftServer
+from repro.raft.proxy import router_for
 from repro.raft.types import OpId
+from repro.snapshot import seed_engine_namespaces
 
 
 @dataclass(frozen=True)
@@ -81,14 +81,9 @@ def restore_member(cluster, member: str, backup: Backup) -> MyRaftServer:
     host.disk.wipe()
 
     # Seed the durable engine namespaces before the service constructs
-    # its MySQLServer over them.
-    tables_ns = host.disk.namespace("engine.tables")
-    for name, rows in backup.tables.items():
-        tables_ns[name] = Table(name, {pk: dict(row) for pk, row in rows.items()})
-    meta_ns = host.disk.namespace("engine.meta")
-    meta_ns["executed_gtids"] = GtidSet.parse(backup.executed_gtids)
-    meta_ns["last_committed_opid"] = backup.last_opid
-    meta_ns["prepared_xids"] = set()
+    # its MySQLServer over them (same helper the in-protocol snapshot
+    # installer uses — restore *is* an operator-driven snapshot install).
+    seed_engine_namespaces(host.disk, backup.tables, backup.executed_gtids, backup.last_opid)
 
     # The Raft log starts logically right after the backup point: the
     # leader ships only entries *after* it (it does not need — and may
@@ -100,11 +95,6 @@ def restore_member(cluster, member: str, backup: Backup) -> MyRaftServer:
     # Fresh service over the seeded disk (host must be up so the service
     # can arm timers and start its applier).
     host.resurrect()
-    router = None
-    if cluster.raft_config.enable_proxying:
-        from repro.raft.proxy import RegionProxyRouter
-
-        router = RegionProxyRouter()
     service = MyRaftServer(
         host=host,
         membership=cluster.membership,
@@ -112,7 +102,7 @@ def restore_member(cluster, member: str, backup: Backup) -> MyRaftServer:
         raft_config=cluster.raft_config,
         timing=cluster.timing,
         rng=cluster.rng,
-        router=router,
+        router=router_for(cluster.raft_config),
         discovery=cluster.discovery,
         replicaset=cluster.spec.replicaset_id,
     )
@@ -134,7 +124,20 @@ class BackupVault:
         self.backups.append(backup)
         return backup
 
-    def latest(self) -> Backup:
+    def latest(self, source: str | None = None) -> Backup:
+        """Most recent backup, optionally restricted to one ``source``
+        member. Raises a clear error instead of silently handing back
+        another member's image when the filter matches nothing."""
         if not self.backups:
             raise ControlPlaneError("vault is empty")
-        return max(self.backups, key=lambda b: b.taken_at)
+        candidates = (
+            self.backups
+            if source is None
+            else [b for b in self.backups if b.source == source]
+        )
+        if not candidates:
+            raise ControlPlaneError(
+                f"no backup of {source!r} in the vault "
+                f"(have: {sorted({b.source for b in self.backups})})"
+            )
+        return max(candidates, key=lambda b: b.taken_at)

@@ -44,6 +44,14 @@ class QuorumUnavailableError(RaftError):
     """Not enough healthy voters to satisfy the active quorum policy."""
 
 
+class SnapshotError(RaftError):
+    """Snapshot production, transfer, or install failure."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A received snapshot image failed checksum or decode validation."""
+
+
 class MySQLError(ReproError):
     """Errors raised by the simulated MySQL server."""
 

@@ -56,3 +56,32 @@ def safe_purge_horizon(
     the leader may purge log files entirely below this (§A.1)."""
     watermarks = all_region_watermarks(config, match_of)
     return min(watermarks.values()) if watermarks else 0
+
+
+def compaction_horizon(
+    config: MembershipConfig,
+    match_of: Callable[[str], int] | Mapping[str, int],
+    snapshot_index: int | None = None,
+    applied_floor: int | None = None,
+) -> int:
+    """Purge horizon when snapshot shipping is available.
+
+    Without a snapshot this degrades to :func:`safe_purge_horizon` — the
+    slowest region pins history. With a snapshot at ``snapshot_index``
+    the leader may purge through it regardless of laggards, because any
+    member that later needs the purged prefix gets the snapshot shipped
+    instead of log entries.
+
+    ``applied_floor`` (the leader engine's last *applied* index) caps the
+    horizon at ``applied_floor + 1``: a freshly produced image always
+    reaches at least the applied floor, so every retained log starts at
+    an index some producible snapshot covers — the invariant
+    ``repro.snapshot.policy.image_covers`` relies on. (The commit marker
+    can run ahead of apply on noops/rotates, hence the explicit cap.)
+    """
+    horizon = safe_purge_horizon(config, match_of)
+    if snapshot_index is not None:
+        horizon = max(horizon, snapshot_index + 1)
+    if applied_floor is not None:
+        horizon = min(horizon, applied_floor + 1)
+    return horizon

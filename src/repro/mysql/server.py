@@ -221,6 +221,25 @@ class MySQLServer:
         self._table_ids.clear()
         return {"rolled_back_xids": rolled_back}
 
+    def reset_to_seeded_disk(self, persona: str = "relay") -> None:
+        """Rebuild volatile structures over a freshly *seeded* disk
+        (snapshot install): like :meth:`recover_after_restart`, but the
+        seeded namespaces are a consistent committed image — there are no
+        prepared transactions to roll back, and rolling back would wrongly
+        touch the seeded state.
+        """
+        self.engine = StorageEngine(
+            self.host.disk.namespace("engine.tables"), self.host.disk.namespace("engine.meta")
+        )
+        self.log_manager = MySQLLogManager(
+            self.host.disk.namespace("mysqllog"), persona=persona
+        )
+        self.pipeline = None
+        self.applier = None
+        self.role = ServerRole.REPLICA
+        self.read_only = True
+        self._table_ids.clear()
+
     # -- introspection ---------------------------------------------------------------
 
     def checksum(self) -> int:

@@ -204,6 +204,15 @@ class BinlogRaftLogStorage(LogStorage):
     def last_opid(self) -> OpId:
         return self._last
 
+    def stats(self) -> dict:
+        """Log shape summary for experiments and compaction assertions."""
+        return {
+            "files": len(self._mgr.index),
+            "entries": len(self._records),
+            "first_index": self._first,
+            "last_index": self._last.index,
+        }
+
     # -- purging (§A.1) ---------------------------------------------------------------
 
     def purge_files_below(self, horizon_index: int) -> list[str]:

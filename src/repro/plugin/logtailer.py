@@ -64,6 +64,7 @@ class LogtailerService:
         if member is None or member.has_storage_engine:
             raise RaftError(f"{host.name} is not declared as a witness in the membership")
         self.host = host
+        self.raft_config = raft_config
         self.log_manager = MySQLLogManager(host.disk.namespace("mysqllog"), persona="relay")
         self.storage = BinlogRaftLogStorage(self.log_manager)
         self.node = RaftNode(
@@ -77,6 +78,28 @@ class LogtailerService:
             rng=rng,
             router=router,
         )
+        self._wire_snapshots()
+
+    def _wire_snapshots(self) -> None:
+        """Install-only: a witness holds no engine state to serialize, but
+        a leader with a purged log must still be able to re-seed it (the
+        log below the image's OpId is simply gone — witnesses never serve
+        reads, so only the Raft metadata matters)."""
+        if self.raft_config.enable_snapshots:
+            from repro.snapshot import SnapshotManager
+
+            SnapshotManager(
+                self.host, self.node, self.raft_config, install_image=self._install_snapshot_image
+            )
+        else:
+            self.node.snapshots = None
+
+    def _install_snapshot_image(self, image) -> None:
+        self.host.disk.namespace("mysqllog").clear()
+        self.log_manager = MySQLLogManager(self.host.disk.namespace("mysqllog"), persona="relay")
+        self.storage.reload(self.log_manager)
+        self.storage.seed_base(image.last_opid)
+        self.node.adopt_snapshot(image.last_opid, image.members_wire, image.config_index)
 
     def handle_message(self, src: str, message: Any) -> None:
         if not type(message).__module__.startswith("repro.raft"):
@@ -90,6 +113,7 @@ class LogtailerService:
         self.log_manager = MySQLLogManager(self.host.disk.namespace("mysqllog"))
         self.storage.reload(self.log_manager)
         self.node.on_restart()
+        self._wire_snapshots()
 
     def status(self) -> dict[str, Any]:
         return {

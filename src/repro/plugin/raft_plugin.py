@@ -38,6 +38,7 @@ from repro.raft.types import OpId
 from repro.sim.coro import SimFuture
 from repro.sim.host import Host
 from repro.sim.rng import RngStream
+from repro.snapshot import SnapshotImage, SnapshotManager, build_image, seed_engine_namespaces
 
 
 class _RaftDiskTiming(TimingModel):
@@ -106,6 +107,7 @@ class MyRaftServer:
         self.host = host
         self.discovery = discovery
         self.replicaset = replicaset
+        self.raft_config = raft_config
         self.mysql = MySQLServer(host, timing, rng, initial_role=ServerRole.REPLICA)
         self.storage = BinlogRaftLogStorage(self.mysql.log_manager)
         self.node = RaftNode(
@@ -123,6 +125,7 @@ class MyRaftServer:
         self.applier: Applier | None = None
         self.promotions = 0
         self.demotions = 0
+        self._wire_snapshots()
         self._build_replica_runtime()
 
     # -- host service interface -------------------------------------------------
@@ -152,6 +155,9 @@ class MyRaftServer:
         self.mysql.recover_after_restart()
         self.storage.reload(self.mysql.log_manager)
         self.node.on_restart()
+        # Fresh manager: stale transfer sessions must not survive a crash
+        # (follower-side staging is durable and resumes on its own).
+        self._wire_snapshots()
         self._build_replica_runtime()
         self._trace("myraft.recovered")
 
@@ -306,6 +312,87 @@ class MyRaftServer:
         self.demotions += 1
         self._trace("myraft.demoted", aborted=aborted, new_leader=leader)
 
+    # -- snapshot shipping (producer + installer wiring) -----------------------------------
+
+    def _wire_snapshots(self) -> None:
+        """(Re)attach the snapshot manager; called at construction and on
+        restart so transfer sessions never outlive an incarnation."""
+        if self.raft_config.enable_snapshots:
+            SnapshotManager(
+                self.host,
+                self.node,
+                self.raft_config,
+                produce_image=self._produce_snapshot_image,
+                install_image=self._install_snapshot_image,
+            )
+        else:
+            self.node.snapshots = None
+
+    def _produce_snapshot_image(self, chunk_bytes: int) -> SnapshotImage | None:
+        """Serialize this member's engine state — the same consistent cut
+        ``control.backup.take_backup`` produces — into a shippable image.
+        Returns None when nothing has been applied yet (nothing to ship
+        that an empty follower doesn't already have)."""
+        from repro.control.backup import Backup  # control imports us; defer
+
+        engine = self.mysql.engine
+        if engine.last_committed_opid == OpId.zero():
+            return None
+        backup = Backup(
+            source=self.host.name,
+            taken_at=self.host.loop.now,
+            last_opid=engine.last_committed_opid,
+            executed_gtids=str(engine.executed_gtids),
+            tables={
+                name: {pk: dict(row) for pk, row in engine.table(name).rows.items()}
+                for name in engine.table_names()
+            },
+        )
+        self._trace("myraft.snapshot_produced", opid=str(backup.last_opid), rows=backup.row_count())
+        return build_image(
+            source=backup.source,
+            taken_at=backup.taken_at,
+            last_opid=backup.last_opid,
+            executed_gtids=backup.executed_gtids,
+            tables=backup.tables,
+            members_wire=self.node.membership.to_wire(),
+            config_index=self.node.membership.config_index,
+            chunk_bytes=chunk_bytes,
+        )
+
+    def _install_snapshot_image(self, image: SnapshotImage) -> None:
+        """Cutover to a received snapshot (runs atomically in one event):
+        wipe volatile runtime, seed the durable namespaces, restart the
+        log at the image's OpId, resume tailing as a replica."""
+        self._trace("myraft.snapshot_install_started", snapshot=image.snapshot_id)
+        self._teardown_runtime()
+        for _, waiter in self._commit_waiters:
+            waiter.fail_if_pending(
+                NotLeaderError(f"{self.host.name} discarded its state for a snapshot install")
+            )
+        self._commit_waiters.clear()
+        seed_engine_namespaces(
+            self.host.disk, image.tables, image.executed_gtids, image.last_opid
+        )
+        self.host.disk.namespace("mysqllog").clear()
+        self.mysql.reset_to_seeded_disk(persona="relay")
+        self.storage.reload(self.mysql.log_manager)
+        self.storage.seed_base(image.last_opid)
+        self.node.adopt_snapshot(image.last_opid, image.members_wire, image.config_index)
+        self._build_replica_runtime()
+        self._trace("myraft.snapshot_installed", opid=str(image.last_opid))
+
+    def snapshot_and_compact(self) -> list[str]:
+        """Leader-only: produce a fresh snapshot image, then purge log
+        files past the slowest region's watermark — the snapshot, not the
+        retained log, now bootstraps anyone who needed the purged prefix."""
+        if not self.node.is_leader:
+            raise NotLeaderError(f"{self.host.name} is not the primary")
+        shipper = self.node.snapshots.shipper if self.node.snapshots is not None else None
+        if shipper is not None:
+            shipper.refresh_image()
+        return self.purge_to_horizon()
+
     # -- applier feed ----------------------------------------------------------------------
 
     def _entry_source(self, index: int):
@@ -332,12 +419,25 @@ class MyRaftServer:
 
     def purge_to_horizon(self) -> list[str]:
         """PURGE LOGS with Raft approval (§A.1): the leader purges below
-        the slowest region's watermark; a replica below what it has
-        applied to the engine."""
+        the slowest region's watermark — or past it, up to the newest
+        snapshot image, when snapshot shipping can re-seed laggards; a
+        replica purges below what it has applied to the engine."""
         if self.node.is_leader and self.node.leader_state is not None:
-            from repro.flexiraft.watermarks import safe_purge_horizon
+            from repro.flexiraft.watermarks import compaction_horizon, safe_purge_horizon
 
-            horizon = safe_purge_horizon(self.node.membership, self.node.leader_state.match_of)
+            shipper = self.node.snapshots.shipper if self.node.snapshots is not None else None
+            if shipper is not None:
+                image = shipper.image
+                horizon = compaction_horizon(
+                    self.node.membership,
+                    self.node.leader_state.match_of,
+                    snapshot_index=image.last_opid.index if image is not None else None,
+                    applied_floor=self.mysql.engine.last_committed_opid.index,
+                )
+            else:
+                horizon = safe_purge_horizon(
+                    self.node.membership, self.node.leader_state.match_of
+                )
         else:
             horizon = self.mysql.engine.last_committed_opid.index
         return self.storage.purge_files_below(horizon)

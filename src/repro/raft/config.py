@@ -52,6 +52,19 @@ class RaftConfig:
     # -- log cache -------------------------------------------------------------
     log_cache_max_bytes: int = 4 << 20
 
+    # -- snapshot shipping / log compaction ----------------------------------
+    # First-class state transfer (kuduraft tablet-copy style): when a
+    # follower needs entries the leader already purged, the leader ships a
+    # serialized engine image in chunks instead of failing replication.
+    enable_snapshots: bool = True
+    snapshot_chunk_bytes: int = 64 << 10
+    # Transfer throttle: pacing delay between chunks models disk+network
+    # pressure so a bootstrap never starves foreground replication.
+    snapshot_max_bytes_per_sec: float = 8 << 20
+    # How often a shipping leader re-probes a silent follower with the
+    # snapshot offer (the offer doubles as the resume cursor probe).
+    snapshot_retry_interval: float = 0.5
+
     # -- witness behaviour (§2.2, §4.1) ------------------------------------------
     # A witness elected leader transfers leadership to a caught-up
     # storage-engine member after this settle delay.
@@ -67,3 +80,9 @@ class RaftConfig:
             raise ValueError("missed_heartbeats_for_election must be >= 1")
         if self.max_entries_per_append < 1:
             raise ValueError("max_entries_per_append must be >= 1")
+        if self.snapshot_chunk_bytes < 1:
+            raise ValueError("snapshot_chunk_bytes must be >= 1")
+        if self.snapshot_max_bytes_per_sec <= 0:
+            raise ValueError("snapshot_max_bytes_per_sec must be positive")
+        if self.snapshot_retry_interval <= 0:
+            raise ValueError("snapshot_retry_interval must be positive")

@@ -181,6 +181,24 @@ class InMemoryLogStorage(LogStorage):
             return self._state["purged_last_opid"]
         return self._entries[-1].opid
 
+    def opid_at(self, index: int) -> OpId | None:
+        """Like the base implementation, but answers for the snapshot
+        boundary index (the Raft last-included opid) after ``seed_base``
+        or a purge, matching the binlog storage's behaviour."""
+        purged = self._state["purged_last_opid"]
+        if index == purged.index and index > 0:
+            return purged
+        return super().opid_at(index)
+
+    def seed_base(self, opid: OpId) -> None:
+        """Start an *empty* log at ``opid`` (snapshot install): entries
+        begin at ``opid.index + 1`` and ``opid`` itself answers term
+        queries as the last-included position."""
+        if self._entries or self._base != 1 or self._state["purged_last_opid"] != OpId.zero():
+            raise RaftError("seed_base requires an empty, never-purged log")
+        self._state["base_index"] = opid.index + 1
+        self._state["purged_last_opid"] = opid
+
     def purge_below(self, index: int) -> int:
         """Drop entries with index < ``index``; returns count removed."""
         keep_from = max(0, index - self._base)

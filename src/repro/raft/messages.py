@@ -17,6 +17,9 @@ from repro.raft.types import OpId
 RPC_HEADER_BYTES = 64
 PER_ENTRY_OVERHEAD_BYTES = 16
 PROXY_OP_BYTES = 24
+# Per-chunk framing for snapshot transfer: snapshot id + sequence number
+# + flags + payload length.
+SNAPSHOT_CHUNK_OVERHEAD_BYTES = 32
 
 
 @dataclass(frozen=True)
@@ -92,6 +95,70 @@ class AppendEntriesResponse:
             leader=self.leader,
             return_path=self.return_path[:-1],
         )
+
+
+@dataclass(frozen=True)
+class InstallSnapshotRequest:
+    """Leader → follower: offer of a snapshot covering the log through
+    ``last_opid``.
+
+    Sent before any chunk (and re-sent as the retry/resume probe). The
+    follower answers with the next chunk sequence number it needs, which
+    makes the transfer resumable across follower crashes: staged chunks
+    survive on the simulated disk and only the tail is re-shipped.
+    """
+
+    term: int
+    leader: str
+    snapshot_id: str
+    last_opid: OpId
+    members_wire: tuple = ()  # tuple[(name, region, member_type, has_engine)]
+    config_index: int = 0
+    total_chunks: int = 0
+    total_bytes: int = 0
+    checksum: str = ""
+
+    @property
+    def wire_size(self) -> int:
+        # Header + manifest (opid, counts, checksum) + per-member metadata.
+        return RPC_HEADER_BYTES + 48 + PROXY_OP_BYTES * len(self.members_wire)
+
+
+@dataclass(frozen=True)
+class InstallSnapshotChunk:
+    """Leader → follower: one byte-range of the serialized engine image."""
+
+    term: int
+    leader: str
+    snapshot_id: str
+    seq: int
+    data: bytes
+    is_last: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        return RPC_HEADER_BYTES + SNAPSHOT_CHUNK_OVERHEAD_BYTES + len(self.data)
+
+
+@dataclass(frozen=True)
+class InstallSnapshotResponse:
+    """Follower → leader: progress ack for an offer or chunk.
+
+    ``next_seq`` is the lowest chunk sequence the follower still needs
+    (the resume cursor). ``done`` reports a completed install, with
+    ``last_opid`` echoing the installed image's OpId so the leader can
+    advance match_index without replaying the shipped prefix.
+    """
+
+    term: int
+    follower: str
+    snapshot_id: str
+    next_seq: int
+    success: bool = True
+    done: bool = False
+    last_opid: OpId = field(default_factory=OpId.zero)
+
+    wire_size: int = RPC_HEADER_BYTES
 
 
 @dataclass(frozen=True)

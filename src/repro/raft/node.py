@@ -41,6 +41,9 @@ from repro.raft.membership import MembershipConfig
 from repro.raft.messages import (
     AppendEntriesRequest,
     AppendEntriesResponse,
+    InstallSnapshotChunk,
+    InstallSnapshotRequest,
+    InstallSnapshotResponse,
     MockElectionRequest,
     MockElectionResult,
     RequestVoteRequest,
@@ -97,6 +100,10 @@ class RaftNode:
         if durable["current_term"] < last_log_term:
             durable["current_term"] = last_log_term
 
+        # Snapshot machinery (attached by repro.snapshot.SnapshotManager;
+        # None for pure-protocol rings without state transfer).
+        self.snapshots: Any | None = None
+
         # Volatile — rebuilt by _init_volatile on every (re)start.
         self._init_volatile()
 
@@ -109,6 +116,8 @@ class RaftNode:
             "proxy_forwards": 0,
             "proxy_degrades": 0,
             "transfers_initiated": 0,
+            "snapshots_shipped": 0,
+            "snapshot_installs": 0,
         }
 
     # ------------------------------------------------------------------ state
@@ -513,6 +522,8 @@ class RaftNode:
         """Clear leader-side volatile state without role-change hooks."""
         self.leader_state = None
         self._vote_tally = None
+        if self.snapshots is not None:
+            self.snapshots.on_step_down()
 
     def _step_down(self, term: int, leader: str | None) -> None:
         was_leader = self.role == RaftRole.LEADER
@@ -664,9 +675,14 @@ class RaftNode:
 
         prev_index = start - 1
         prev_term = self._term_at(prev_index)
-        if prev_term is None:
+        if prev_term is None or start < self.storage.first_index():
             # Peer is so far behind that our log was purged below its
-            # next_index; resend from the oldest we have.
+            # next_index (LogTruncatedError territory): state transfer is
+            # the only way to catch it up. Ship a snapshot when the
+            # machinery is wired; otherwise resend from the oldest we
+            # still have (pure-protocol rings never purge mid-stream).
+            if self._maybe_ship_snapshot(peer):
+                return
             start = self.storage.first_index()
             prev_index = start - 1
             prev_term = self._term_at(prev_index) or 0
@@ -907,6 +923,28 @@ class RaftNode:
 
     # -- AppendEntries (the receiving side) ----------------------------------------
 
+    def _accept_leader_authority(self, term: int, leader: str) -> bool:
+        """Shared prologue for leader-originated RPCs (AppendEntries and
+        snapshot transfer): reject stale terms, adopt newer ones, record
+        the leader, and refresh the failure detector. Returns whether the
+        sender is an acceptable leader."""
+        if term < self.current_term:
+            return False
+        if term > self.current_term or self.role != RaftRole.FOLLOWER:
+            if self.role == RaftRole.LEARNER and term >= self.current_term:
+                if term > self.current_term:
+                    self._set_term(term)
+                self.leader_id = leader
+                self._learn_leader(term, leader)
+            else:
+                self._step_down(term, leader=leader)
+        else:
+            self.leader_id = leader
+            self._learn_leader(term, leader)
+        self._last_leader_contact = self.host.loop.now
+        self._reset_election_timer()
+        return True
+
     def _handle_append_entries(self, src: str, request: AppendEntriesRequest) -> None:
         if request.final_dest and request.final_dest != self.name:
             self._handle_proxy_forward(src, request)
@@ -923,22 +961,9 @@ class RaftNode:
                 return_path=request.return_path,
             )
 
-        if request.term < self.current_term:
+        if not self._accept_leader_authority(request.term, request.leader):
             self._respond_append(request, success=False, ack_index=0)
             return
-        if request.term > self.current_term or self.role != RaftRole.FOLLOWER:
-            if self.role == RaftRole.LEARNER and request.term >= self.current_term:
-                if request.term > self.current_term:
-                    self._set_term(request.term)
-                self.leader_id = request.leader
-                self._learn_leader(request.term, request.leader)
-            else:
-                self._step_down(request.term, leader=request.leader)
-        else:
-            self.leader_id = request.leader
-            self._learn_leader(request.term, request.leader)
-        self._last_leader_contact = self.host.loop.now
-        self._reset_election_timer()
 
         # Log consistency check on prev_opid.
         prev = request.prev_opid
@@ -1063,6 +1088,92 @@ class RaftNode:
             future = self._pending_proposals.pop(index)
             term = self._term_at(index) or 0
             future.resolve_if_pending(OpId(term, index))
+
+    # ------------------------------------------------- snapshot shipping (§3)
+
+    def _maybe_ship_snapshot(self, peer: str) -> bool:
+        """Leader side: start (or continue) snapshot transfer to a peer
+        whose next_index fell below our purged log prefix."""
+        if self.snapshots is None or self.snapshots.shipper is None:
+            return False
+        if peer not in self.membership:
+            return False
+        return self.snapshots.shipper.ship_to(peer, self.storage.first_index())
+
+    def _snapshot_reject(self, src: str, snapshot_id: str) -> None:
+        self.host.send(
+            src,
+            InstallSnapshotResponse(
+                term=self.current_term,
+                follower=self.name,
+                snapshot_id=snapshot_id,
+                next_seq=0,
+                success=False,
+            ),
+        )
+
+    def _handle_install_snapshot(self, src: str, request: InstallSnapshotRequest) -> None:
+        installer = self.snapshots.installer if self.snapshots is not None else None
+        if not self._accept_leader_authority(request.term, request.leader) or installer is None:
+            self._snapshot_reject(src, request.snapshot_id)
+            return
+        self.host.send(src, installer.handle_offer(request))
+
+    def _handle_snapshot_chunk(self, src: str, chunk: InstallSnapshotChunk) -> None:
+        installer = self.snapshots.installer if self.snapshots is not None else None
+        if not self._accept_leader_authority(chunk.term, chunk.leader) or installer is None:
+            self._snapshot_reject(src, chunk.snapshot_id)
+            return
+        self.host.send(src, installer.handle_chunk(chunk))
+
+    def _handle_snapshot_response(self, src: str, response: InstallSnapshotResponse) -> None:
+        if response.term > self.current_term:
+            self._step_down(response.term, leader=None)
+            return
+        if (
+            not self.is_leader
+            or self.leader_state is None
+            or self.snapshots is None
+            or self.snapshots.shipper is None
+        ):
+            return
+        now = self.host.loop.now
+        progress = self.leader_state.ensure_peer(response.follower, now)
+        progress.last_ack_time = now
+        installed = self.snapshots.shipper.handle_response(response.follower, response)
+        if installed is not None:
+            # The peer now holds everything through the image's OpId:
+            # advance match/next past it and replicate the live tail.
+            self.metrics["snapshots_shipped"] += 1
+            progress.acked(installed.index, now)
+            progress.last_sent_index = 0
+            progress.last_sent_time = -1e9
+            self._trace("raft.snapshot_shipped", peer=response.follower, opid=str(installed))
+            self._maybe_advance_commit()
+            self._replicate_to(response.follower, force=True)
+
+    def adopt_snapshot(self, opid: OpId, members_wire: tuple = (), config_index: int = 0) -> None:
+        """Follower side: align volatile Raft state with a just-installed
+        snapshot (the service already re-based ``self.storage``).
+
+        The image's membership (frozen at production) becomes our
+        bootstrap config — the log no longer reaches back to a CONFIG
+        entry, so ``_rebuild_membership`` must fall through to it.
+        """
+        if members_wire:
+            self._durable["bootstrap_members"] = tuple(members_wire)
+        if self.current_term < opid.term:
+            self._set_term(opid.term)
+        self.cache = LogCache(self.config.log_cache_max_bytes)
+        self.membership = self._rebuild_membership()
+        self_member = self.membership.member(self.name)
+        self._is_voter = self_member.is_voter if self_member else False
+        if self.role != RaftRole.LEADER:
+            self.role = RaftRole.FOLLOWER if self._is_voter else RaftRole.LEARNER
+        self.commit_index = max(self.commit_index, opid.index)
+        self.metrics["snapshot_installs"] += 1
+        self._trace("raft.snapshot_installed", opid=str(opid))
+        self._reset_election_timer()
 
     # -------------------------------------------------- transfer of leadership
 
@@ -1340,6 +1451,12 @@ class RaftNode:
             self._handle_mock_election_request(src, message)
         elif isinstance(message, MockElectionResult):
             self._handle_mock_election_result(src, message)
+        elif isinstance(message, InstallSnapshotRequest):
+            self._handle_install_snapshot(src, message)
+        elif isinstance(message, InstallSnapshotChunk):
+            self._handle_snapshot_chunk(src, message)
+        elif isinstance(message, InstallSnapshotResponse):
+            self._handle_snapshot_response(src, message)
         else:
             raise RaftError(f"{self.name}: unknown message {type(message).__name__}")
 

@@ -58,6 +58,13 @@ class RegionProxyRouter(ProxyRouter):
         return members[0].name
 
 
+def router_for(raft_config) -> ProxyRouter | None:
+    """The standard router for a config: the paper's region topology when
+    proxying is enabled, direct delivery otherwise. Shared by every site
+    that constructs a service (cluster assembly, restore, automation)."""
+    return RegionProxyRouter() if raft_config.enable_proxying else None
+
+
 class StaticProxyRouter(ProxyRouter):
     """Explicit chains, for tests and unusual topologies.
 

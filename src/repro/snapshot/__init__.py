@@ -1,0 +1,33 @@
+"""In-protocol snapshot shipping + log compaction.
+
+Makes state transfer a first-class Raft path, kuduraft-tablet-copy
+style: a leader whose log no longer reaches back far enough for a
+follower serializes a consistent engine image and streams it over the
+simulated network in byte-accounted, rate-throttled, resumable chunks;
+the follower wipes its volatile engine state, seeds the durable
+namespaces from the image, re-bases its log storage, and resumes
+tailing. A compaction policy then lets the leader purge history past the
+slowest region's watermark because any member that needs the purged
+prefix can be snapshot-seeded instead.
+
+Layering: this package depends only on ``repro.raft``, ``repro.mysql``
+and ``repro.errors`` — the plugin layer wires it to concrete engines,
+and the control plane reuses :func:`seed_engine_namespaces` for
+backup-driven member replacement.
+"""
+
+from repro.snapshot.installer import SnapshotInstaller, seed_engine_namespaces
+from repro.snapshot.policy import image_covers
+from repro.snapshot.producer import SnapshotImage, assemble_image, build_image
+from repro.snapshot.transfer import LeaderSnapshotShipper, SnapshotManager
+
+__all__ = [
+    "LeaderSnapshotShipper",
+    "SnapshotImage",
+    "SnapshotInstaller",
+    "SnapshotManager",
+    "assemble_image",
+    "build_image",
+    "image_covers",
+    "seed_engine_namespaces",
+]

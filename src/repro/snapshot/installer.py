@@ -1,0 +1,187 @@
+"""Follower-side snapshot install: durable staging + atomic cutover.
+
+Chunks land in the ``snapshot.staging`` durable namespace as they
+arrive, so a follower crashing mid-transfer resumes from what its disk
+already holds — the leader's next offer probe doubles as the resume
+cursor exchange. The final cutover (wipe volatile engine state, seed the
+durable namespaces, re-base the log) runs synchronously inside one
+simulation event, which is what makes it atomic under the crash model:
+a host can only crash *between* events, so recovery always sees either
+the pre-install or the post-install disk, never a torn one.
+
+:func:`seed_engine_namespaces` is the shared seeding helper — the same
+code path backs ``control.backup.restore_member`` (operator-driven
+restore) and the in-protocol installer (leader-driven state transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import LogTruncatedError, SnapshotIntegrityError
+from repro.mysql.gtid import GtidSet
+from repro.mysql.tables import Table
+from repro.raft.messages import InstallSnapshotChunk, InstallSnapshotRequest, InstallSnapshotResponse
+from repro.raft.types import OpId
+from repro.snapshot.producer import SnapshotImage, assemble_image
+
+STAGING_NAMESPACE = "snapshot.staging"
+
+
+def seed_engine_namespaces(
+    disk: Any, tables: dict, executed_gtids: str, last_opid: OpId
+) -> None:
+    """Seed the durable engine namespaces with a consistent image.
+
+    The caller constructs (or re-constructs) its MySQL server over the
+    seeded disk afterwards; nothing here touches volatile state.
+    """
+    tables_ns = disk.namespace("engine.tables")
+    tables_ns.clear()
+    for name, rows in tables.items():
+        tables_ns[name] = Table(name, {pk: dict(row) for pk, row in rows.items()})
+    meta_ns = disk.namespace("engine.meta")
+    meta_ns.clear()
+    meta_ns["executed_gtids"] = GtidSet.parse(executed_gtids)
+    meta_ns["last_committed_opid"] = last_opid
+    meta_ns["prepared_xids"] = set()
+
+
+class SnapshotInstaller:
+    """Receives offer/chunk RPCs and drives the install cutover.
+
+    ``install_fn`` is the service-level cutover (provided by the plugin
+    layer): it seeds the disk from the assembled image, re-bases log
+    storage, and tells the Raft node to adopt the snapshot.
+    """
+
+    def __init__(self, host: Any, node: Any, install_fn: Callable[[SnapshotImage], None]) -> None:
+        self.host = host
+        self.node = node
+        self.install_fn = install_fn
+        self.metrics: dict[str, int] = {
+            "offers": 0,
+            "resumes": 0,
+            "installs": 0,
+            "rejects": 0,
+            "integrity_failures": 0,
+        }
+
+    @property
+    def _staging(self) -> dict:
+        return self.host.disk.namespace(STAGING_NAMESPACE)
+
+    # -- RPC handlers (term/authority already vetted by the node) ------------
+
+    def handle_offer(self, request: InstallSnapshotRequest) -> InstallSnapshotResponse:
+        self.metrics["offers"] += 1
+        staging = self._staging
+        if self._already_covers(request.last_opid):
+            # Idempotent re-offer after a completed install (or the member
+            # independently caught up): ack done without touching disk.
+            staging.clear()
+            return self._response(
+                request.snapshot_id,
+                next_seq=request.total_chunks,
+                done=True,
+                last_opid=self.node.storage.last_opid(),
+            )
+        if staging.get("snapshot_id") == request.snapshot_id:
+            if staging.get("chunks"):
+                self.metrics["resumes"] += 1
+        else:
+            staging.clear()
+            staging["snapshot_id"] = request.snapshot_id
+            staging["manifest"] = {
+                "snapshot_id": request.snapshot_id,
+                "last_opid": (request.last_opid.term, request.last_opid.index),
+                "members_wire": tuple(request.members_wire),
+                "config_index": request.config_index,
+                "total_chunks": request.total_chunks,
+                "total_bytes": request.total_bytes,
+                "checksum": request.checksum,
+            }
+            staging["chunks"] = {}
+        return self._advance(request.snapshot_id)
+
+    def handle_chunk(self, chunk: InstallSnapshotChunk) -> InstallSnapshotResponse:
+        staging = self._staging
+        if staging.get("snapshot_id") != chunk.snapshot_id:
+            # Stale or unknown transfer (e.g. a new leader started a fresh
+            # one): tell the sender to re-offer.
+            self.metrics["rejects"] += 1
+            return self._response(chunk.snapshot_id, next_seq=0, success=False)
+        expected = self._next_needed(staging["manifest"]["total_chunks"])
+        if chunk.seq == expected:
+            staging["chunks"][chunk.seq] = chunk.data
+        # Out-of-order or duplicate chunks are dropped; the response's
+        # next_seq steers the sender back to what we actually need.
+        return self._advance(chunk.snapshot_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self, snapshot_id: str) -> InstallSnapshotResponse:
+        staging = self._staging
+        total = staging["manifest"]["total_chunks"]
+        next_seq = self._next_needed(total)
+        if next_seq >= total:
+            return self._finish(snapshot_id)
+        return self._response(snapshot_id, next_seq=next_seq)
+
+    def _finish(self, snapshot_id: str) -> InstallSnapshotResponse:
+        staging = self._staging
+        manifest = staging["manifest"]
+        try:
+            image = assemble_image(manifest, staging["chunks"])
+        except SnapshotIntegrityError:
+            self.metrics["integrity_failures"] += 1
+            staging.clear()
+            return self._response(snapshot_id, next_seq=0, success=False)
+        # The cutover runs inside this event: atomic under the crash model.
+        self.install_fn(image)
+        staging.clear()
+        self.metrics["installs"] += 1
+        return self._response(
+            snapshot_id,
+            next_seq=manifest["total_chunks"],
+            done=True,
+            last_opid=image.last_opid,
+        )
+
+    def _next_needed(self, total_chunks: int) -> int:
+        chunks = self._staging.get("chunks", {})
+        seq = 0
+        while seq in chunks and seq < total_chunks:
+            seq += 1
+        return seq
+
+    def _already_covers(self, last_opid: OpId) -> bool:
+        """Whether our durable log already covers the offered image."""
+        if last_opid.index == 0:
+            return True
+        storage = self.node.storage
+        if storage.first_index() > last_opid.index + 1:
+            return True  # a newer snapshot was already installed
+        try:
+            term = storage.term_at(last_opid.index)
+        except LogTruncatedError:
+            return True
+        return term == last_opid.term
+
+    def _response(
+        self,
+        snapshot_id: str,
+        next_seq: int,
+        success: bool = True,
+        done: bool = False,
+        last_opid: OpId | None = None,
+    ) -> InstallSnapshotResponse:
+        return InstallSnapshotResponse(
+            term=self.node.current_term,
+            follower=self.node.name,
+            snapshot_id=snapshot_id,
+            next_seq=next_seq,
+            success=success,
+            done=done,
+            last_opid=last_opid if last_opid is not None else OpId.zero(),
+        )

@@ -1,0 +1,20 @@
+"""Coverage predicates shared by the shipper and the compaction policy.
+
+The one invariant both sides rely on: a snapshot at OpId ``S`` lets a
+member resume tailing at index ``S.index + 1``, so an image *covers* a
+log whose first retained index is ``F`` iff ``S.index >= F - 1``. The
+leader-side compaction horizon (``flexiraft.watermarks
+.compaction_horizon``) is capped at the applied floor for exactly this
+reason: any freshly produced image is then guaranteed to cover whatever
+prefix compaction removed.
+"""
+
+from __future__ import annotations
+
+from repro.snapshot.producer import SnapshotImage
+
+
+def image_covers(image: SnapshotImage | None, first_index: int) -> bool:
+    """Whether ``image`` lets a member join a log starting at
+    ``first_index`` (i.e. the image reaches at least ``first_index - 1``)."""
+    return image is not None and image.last_opid.index >= first_index - 1

@@ -1,0 +1,234 @@
+"""Leader-side snapshot transfer: chunked, rate-throttled, resumable.
+
+One :class:`LeaderSnapshotShipper` per leader tracks an active transfer
+session per peer. The protocol is stop-and-wait per chunk (each response
+carries the follower's resume cursor), with a pacing delay derived from
+``snapshot_max_bytes_per_sec`` so a bootstrap never floods the network,
+and an offer-probe retry timer so a silent follower (crashed, restarted,
+partitioned) is re-engaged from wherever its durable staging left off.
+
+All timers are host-bound (they die with the leader) and every callback
+re-validates both session identity and leadership, so stale timers from
+a superseded transfer or a deposed leader are inert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.raft.messages import InstallSnapshotChunk, InstallSnapshotRequest, InstallSnapshotResponse
+from repro.raft.types import OpId
+from repro.snapshot.policy import image_covers
+from repro.snapshot.producer import SnapshotImage
+
+
+@dataclass
+class _Session:
+    """One in-flight transfer to one peer."""
+
+    peer: str
+    term: int
+    image: SnapshotImage
+    last_activity: float
+    done: bool = False
+
+
+class LeaderSnapshotShipper:
+    """Streams snapshot images to peers that fell behind the purged log."""
+
+    def __init__(
+        self,
+        host: Any,
+        node: Any,
+        config: Any,
+        produce_image: Callable[[int], SnapshotImage | None],
+    ) -> None:
+        self.host = host
+        self.node = node
+        self.config = config
+        self.produce_image = produce_image
+        self.image: SnapshotImage | None = None
+        self.sessions: dict[str, _Session] = {}
+        self.metrics: dict[str, int] = {
+            "images_produced": 0,
+            "ships_started": 0,
+            "ships_completed": 0,
+            "ships_aborted": 0,
+            "chunks_sent": 0,
+            "bytes_sent": 0,
+            "offer_retries": 0,
+        }
+
+    # -- image lifecycle -----------------------------------------------------
+
+    def refresh_image(self) -> SnapshotImage | None:
+        """Produce a fresh image of the current engine state (used before
+        compaction and whenever the cached image no longer covers the
+        purged prefix)."""
+        image = self.produce_image(self.config.snapshot_chunk_bytes)
+        if image is not None:
+            self.metrics["images_produced"] += 1
+            self.image = image
+        return image
+
+    def _ensure_image(self, first_index: int) -> SnapshotImage | None:
+        if image_covers(self.image, first_index):
+            return self.image
+        self.refresh_image()
+        return self.image if image_covers(self.image, first_index) else None
+
+    # -- shipping ------------------------------------------------------------
+
+    def ship_to(self, peer: str, first_index: int) -> bool:
+        """Start (or continue) shipping to ``peer``. Returns False when no
+        image can cover the purged prefix, so the caller can fall back."""
+        session = self.sessions.get(peer)
+        if session is not None and not session.done:
+            return True  # transfer already in flight
+        image = self._ensure_image(first_index)
+        if image is None:
+            return False
+        session = _Session(
+            peer=peer,
+            term=self.node.current_term,
+            image=image,
+            last_activity=self.host.loop.now,
+        )
+        self.sessions[peer] = session
+        self.metrics["ships_started"] += 1
+        self._send_offer(session)
+        self._arm_retry(session)
+        return True
+
+    def handle_response(self, peer: str, response: InstallSnapshotResponse) -> OpId | None:
+        """Feed a follower response; returns the installed OpId when the
+        transfer completed (the node then advances match_index)."""
+        session = self.sessions.get(peer)
+        if session is None or response.snapshot_id != session.image.snapshot_id:
+            return None
+        session.last_activity = self.host.loop.now
+        if response.done:
+            session.done = True
+            self.sessions.pop(peer, None)
+            self.metrics["ships_completed"] += 1
+            return response.last_opid
+        if not response.success:
+            # Follower rejected (authority change or staging mismatch):
+            # drop the session; replication will re-trigger a fresh offer.
+            session.done = True
+            self.sessions.pop(peer, None)
+            self.metrics["ships_aborted"] += 1
+            return None
+        self._schedule_chunk(session, response.next_seq)
+        return None
+
+    def cancel_all(self) -> None:
+        """Step-down/teardown: orphan every session (timers self-check)."""
+        for session in self.sessions.values():
+            session.done = True
+        self.sessions.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _session_current(self, session: _Session) -> bool:
+        return (
+            self.sessions.get(session.peer) is session
+            and not session.done
+            and self.node.is_leader
+            and self.node.current_term == session.term
+        )
+
+    def _send_offer(self, session: _Session) -> None:
+        image = session.image
+        self.host.send(
+            session.peer,
+            InstallSnapshotRequest(
+                term=session.term,
+                leader=self.node.name,
+                snapshot_id=image.snapshot_id,
+                last_opid=image.last_opid,
+                members_wire=tuple(image.members_wire),
+                config_index=image.config_index,
+                total_chunks=image.total_chunks,
+                total_bytes=image.total_bytes,
+                checksum=image.checksum,
+            ),
+        )
+
+    def _arm_retry(self, session: _Session) -> None:
+        self.host.call_after(
+            self.config.snapshot_retry_interval,
+            self._retry_tick,
+            session,
+            session.last_activity,
+        )
+
+    def _retry_tick(self, session: _Session, seen_activity: float) -> None:
+        if not self._session_current(session):
+            return
+        if session.last_activity <= seen_activity + 1e-12:
+            # No follower response since the last probe: re-send the offer
+            # (idempotent — the response carries the resume cursor).
+            self.metrics["offer_retries"] += 1
+            self._send_offer(session)
+        self._arm_retry(session)
+
+    def _schedule_chunk(self, session: _Session, seq: int) -> None:
+        if seq >= session.image.total_chunks:
+            return  # done response is in flight
+        delay = len(session.image.chunks[seq]) / self.config.snapshot_max_bytes_per_sec
+        self.host.call_after(delay, self._send_chunk, session, seq)
+
+    def _send_chunk(self, session: _Session, seq: int) -> None:
+        if not self._session_current(session):
+            return
+        data = session.image.chunks[seq]
+        self.metrics["chunks_sent"] += 1
+        self.metrics["bytes_sent"] += len(data)
+        self.host.send(
+            session.peer,
+            InstallSnapshotChunk(
+                term=session.term,
+                leader=self.node.name,
+                snapshot_id=session.image.snapshot_id,
+                seq=seq,
+                data=data,
+                is_last=seq == session.image.total_chunks - 1,
+            ),
+        )
+
+
+class SnapshotManager:
+    """Per-service façade wiring the shipper and installer to a node.
+
+    Either side is optional: a pure witness could install without ever
+    producing, and a node without an engine image callback simply never
+    ships. Construction attaches itself as ``node.snapshots``.
+    """
+
+    def __init__(
+        self,
+        host: Any,
+        node: Any,
+        config: Any,
+        produce_image: Callable[[int], SnapshotImage | None] | None = None,
+        install_image: Callable[[SnapshotImage], None] | None = None,
+    ) -> None:
+        from repro.snapshot.installer import SnapshotInstaller
+
+        self.host = host
+        self.node = node
+        self.shipper = (
+            LeaderSnapshotShipper(host, node, config, produce_image)
+            if produce_image is not None
+            else None
+        )
+        self.installer = (
+            SnapshotInstaller(host, node, install_image) if install_image is not None else None
+        )
+        node.snapshots = self
+
+    def on_step_down(self) -> None:
+        if self.shipper is not None:
+            self.shipper.cancel_all()

@@ -56,6 +56,24 @@ class TestTakeBackup:
         second = vault.take("region1-db1")
         assert vault.latest() is second
 
+    def test_vault_latest_filters_by_source(self, cluster):
+        vault = BackupVault(cluster)
+        remote = vault.take("region1-db1")
+        cluster.run(1.0)
+        vault.take("region0-db1")  # newer, but a different member
+        assert vault.latest("region1-db1") is remote
+
+    def test_vault_latest_unknown_source_is_a_clear_error(self, cluster):
+        vault = BackupVault(cluster)
+        vault.take("region1-db1")
+        with pytest.raises(ControlPlaneError, match="region0-db1"):
+            vault.latest("region0-db1")
+
+    def test_vault_empty(self):
+        vault = BackupVault(cluster=None)
+        with pytest.raises(ControlPlaneError, match="empty"):
+            vault.latest()
+
 
 class TestRestoreMember:
     def test_restore_seeds_and_catches_up(self, cluster):

@@ -1,0 +1,123 @@
+"""Unit tests for the snapshot image codec and compaction policy."""
+
+import pytest
+
+from repro.errors import RaftError, SnapshotIntegrityError
+from repro.flexiraft.watermarks import compaction_horizon, safe_purge_horizon
+from repro.raft.log_storage import InMemoryLogStorage, LogEntry
+from repro.raft.membership import MembershipConfig
+from repro.raft.types import OpId
+from repro.snapshot import assemble_image, build_image, image_covers
+
+from tests.raft.harness import voter, witness
+
+
+def make_image(chunk_bytes: int = 64, rows: int = 12):
+    tables = {"kv": {i: {"id": i, "v": "x" * 20} for i in range(rows)}}
+    return build_image(
+        source="db1",
+        taken_at=1.5,
+        last_opid=OpId(3, 42),
+        executed_gtids="UUID-DB1:1-42",
+        tables=tables,
+        members_wire=(("db1", "r1", "voter"),),
+        config_index=7,
+        chunk_bytes=chunk_bytes,
+    )
+
+
+class TestImageCodec:
+    def test_roundtrip_multi_chunk(self):
+        image = make_image(chunk_bytes=64)
+        assert image.total_chunks > 1
+        assert sum(len(c) for c in image.chunks) == image.total_bytes
+        chunks = dict(enumerate(image.chunks))
+        rebuilt = assemble_image(image.manifest(), chunks)
+        assert rebuilt.last_opid == OpId(3, 42)
+        assert rebuilt.executed_gtids == "UUID-DB1:1-42"
+        assert rebuilt.tables == image.tables
+        assert rebuilt.members_wire == image.members_wire
+        assert rebuilt.config_index == 7
+
+    def test_snapshot_id_carries_opid_and_checksum(self):
+        image = make_image()
+        assert "3.42" in image.snapshot_id
+        assert image.checksum[:12] in image.snapshot_id
+
+    def test_missing_chunk_rejected(self):
+        image = make_image(chunk_bytes=64)
+        chunks = dict(enumerate(image.chunks))
+        del chunks[1]
+        with pytest.raises(SnapshotIntegrityError):
+            assemble_image(image.manifest(), chunks)
+
+    def test_corrupted_chunk_rejected(self):
+        image = make_image(chunk_bytes=64)
+        chunks = dict(enumerate(image.chunks))
+        chunks[0] = b"garbage" + chunks[0][7:]
+        with pytest.raises(SnapshotIntegrityError):
+            assemble_image(image.manifest(), chunks)
+
+    def test_empty_engine_still_one_chunk(self):
+        image = build_image(
+            source="db1",
+            taken_at=0.0,
+            last_opid=OpId(1, 1),
+            executed_gtids="",
+            tables={},
+        )
+        assert image.total_chunks == 1
+        rebuilt = assemble_image(image.manifest(), dict(enumerate(image.chunks)))
+        assert rebuilt.tables == {}
+
+
+class TestCompactionPolicy:
+    def config(self) -> MembershipConfig:
+        return MembershipConfig(
+            (voter("db1", "r1"), witness("lt1", "r1"), voter("db2", "r2"), witness("lt2", "r2"))
+        )
+
+    def test_image_covers_boundary(self):
+        image = make_image()  # last_opid index 42
+        assert image_covers(image, 43)
+        assert image_covers(image, 40)
+        assert not image_covers(image, 44)
+        assert not image_covers(None, 1)
+
+    def test_no_snapshot_degrades_to_safe_horizon(self):
+        config = self.config()
+        matches = {"db1": 90, "lt1": 90, "db2": 10, "lt2": 10}
+        assert compaction_horizon(config, matches) == safe_purge_horizon(config, matches)
+        assert compaction_horizon(config, matches) == 10
+
+    def test_snapshot_unpins_slow_region(self):
+        config = self.config()
+        matches = {"db1": 90, "lt1": 90, "db2": 10, "lt2": 10}
+        horizon = compaction_horizon(config, matches, snapshot_index=80, applied_floor=85)
+        assert horizon == 81  # through the snapshot, past r2's watermark
+
+    def test_applied_floor_caps_horizon(self):
+        config = self.config()
+        matches = {"db1": 90, "lt1": 90, "db2": 10, "lt2": 10}
+        horizon = compaction_horizon(config, matches, snapshot_index=80, applied_floor=70)
+        assert horizon == 71  # never purge past what a fresh image covers
+
+
+class TestInMemorySeedBase:
+    def test_seed_base_re_bases_the_log(self):
+        storage = InMemoryLogStorage()
+        storage.seed_base(OpId(3, 10))
+        assert storage.first_index() == 11
+        assert storage.last_opid() == OpId(3, 10)
+        # The boundary index answers opid/term queries (Raft's
+        # last-included-term) even though the entry bytes are gone.
+        assert storage.opid_at(10) == OpId(3, 10)
+        assert storage.term_at(10) == 3
+        storage.append([LogEntry(OpId(3, 11), b"x")])
+        assert storage.last_opid() == OpId(3, 11)
+
+    def test_seed_base_requires_empty_log(self):
+        storage = InMemoryLogStorage()
+        storage.append([LogEntry(OpId(1, 1), b"x")])
+        with pytest.raises(RaftError):
+            storage.seed_base(OpId(1, 1))

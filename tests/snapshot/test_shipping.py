@@ -1,0 +1,204 @@
+"""Integration tests for in-protocol snapshot shipping (repro.snapshot).
+
+These drive whole simulated replicasets through the scenarios the
+subsystem exists for: bootstrapping a wiped member from a leader whose
+log prefix is purged, surviving a crash mid-transfer, racing a leader
+change, and un-pinning compaction from a partitioned region.
+"""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.flexiraft.watermarks import safe_purge_horizon
+from repro.raft.config import RaftConfig
+from repro.snapshot.installer import STAGING_NAMESPACE
+
+
+def two_region_spec() -> ReplicaSetSpec:
+    return ReplicaSetSpec(
+        "snap-test",
+        (
+            RegionSpec("region0", databases=1, logtailers=1),
+            RegionSpec("region1", databases=1, logtailers=1),
+        ),
+    )
+
+
+def load(cluster, primary, writes: int, rotate_every: int = 10, start: int = 0) -> None:
+    """Sequential overwrite-heavy writes with periodic binlog rotation,
+    so compaction has whole closed files to drop."""
+    for i in range(start, start + writes):
+        key = i % 8
+        primary.submit_write("kv", {key: {"id": key, "n": i, "v": "x" * 60}})
+        if (i + 1) % rotate_every == 0:
+            primary.flush_binary_logs()
+        cluster.run(0.05)
+    cluster.run(2.0)
+
+
+def run_until(cluster, predicate, timeout: float = 30.0, step: float = 0.1) -> None:
+    deadline = cluster.loop.now + timeout
+    while cluster.loop.now < deadline:
+        cluster.run(step)
+        if predicate():
+            return
+    raise AssertionError("condition not reached within timeout")
+
+
+def member_caught_up(cluster, name: str, goal_log: int, goal_engine: int | None = None):
+    def check() -> bool:
+        service = cluster.services[name]
+        if service.node.last_opid.index < goal_log:
+            return False
+        if goal_engine is None:
+            return True
+        return service.mysql.engine.last_committed_opid.index >= goal_engine
+
+    return check
+
+
+class TestSnapshotBootstrap:
+    def test_purged_leader_bootstraps_fresh_member(self):
+        cluster = MyRaftReplicaset(two_region_spec(), seed=11)
+        primary = cluster.bootstrap()
+        load(cluster, primary, 60)
+        goal = primary.node.last_opid.index
+        run_until(cluster, member_caught_up(cluster, "region1-db1", goal))
+
+        purged = primary.snapshot_and_compact()
+        assert purged
+        assert primary.storage.first_index() > 1
+
+        cluster.reimage_member("region1-db1")
+        goal_log = primary.node.last_opid.index
+        goal_engine = primary.mysql.engine.last_committed_opid.index
+        run_until(cluster, member_caught_up(cluster, "region1-db1", goal_log, goal_engine))
+
+        victim = cluster.services["region1-db1"]
+        assert victim.node.metrics["snapshot_installs"] >= 1
+        assert primary.node.metrics["snapshots_shipped"] >= 1
+        assert cluster.databases_converged()
+        assert cluster.logs_prefix_equal()
+
+    def test_crash_mid_transfer_resumes_from_staging(self):
+        # Tiny chunks + a slow ship rate stretch the transfer over many
+        # events so we can crash the follower in the middle of it.
+        config = RaftConfig(
+            snapshot_chunk_bytes=128,
+            snapshot_max_bytes_per_sec=2048.0,
+            snapshot_retry_interval=0.2,
+        )
+        cluster = MyRaftReplicaset(two_region_spec(), seed=12, raft_config=config)
+        primary = cluster.bootstrap()
+        load(cluster, primary, 40)
+        goal = primary.node.last_opid.index
+        run_until(cluster, member_caught_up(cluster, "region1-db1", goal))
+        assert primary.snapshot_and_compact()
+
+        cluster.reimage_member("region1-db1")
+        staging = cluster.hosts["region1-db1"].disk.namespace(STAGING_NAMESPACE)
+        run_until(cluster, lambda: len(staging.get("chunks", {})) >= 1, step=0.02)
+        total = staging["manifest"]["total_chunks"]
+        assert len(staging["chunks"]) < total  # genuinely mid-transfer
+
+        cluster.crash("region1-db1")
+        cluster.run(0.5)
+        cluster.restart("region1-db1")
+
+        goal_log = primary.node.last_opid.index
+        goal_engine = primary.mysql.engine.last_committed_opid.index
+        run_until(cluster, member_caught_up(cluster, "region1-db1", goal_log, goal_engine))
+
+        installer = cluster.services["region1-db1"].node.snapshots.installer
+        assert installer.metrics["resumes"] >= 1  # staged chunks survived the crash
+        assert installer.metrics["installs"] >= 1
+        assert cluster.databases_converged()
+
+    def test_install_races_leader_change(self):
+        # Three databases in one region; the victim's transfer is cut
+        # short by the leader crashing, and the *new* leader (whose own
+        # log prefix is also purged) must re-ship from a fresh image.
+        spec = ReplicaSetSpec(
+            "snap-lead", (RegionSpec("region0", databases=3, logtailers=0),)
+        )
+        config = RaftConfig(
+            snapshot_chunk_bytes=128, snapshot_max_bytes_per_sec=2048.0
+        )
+        cluster = MyRaftReplicaset(spec, seed=13, raft_config=config)
+        primary = cluster.bootstrap()
+        load(cluster, primary, 40, rotate_every=8)
+        goal = primary.node.last_opid.index
+        run_until(cluster, member_caught_up(cluster, "region0-db2", goal))
+        run_until(cluster, member_caught_up(cluster, "region0-db3", goal))
+
+        assert primary.snapshot_and_compact()
+        db2 = cluster.server("region0-db2")
+        db2.purge_to_horizon()  # replica purge: below its applied index
+        assert db2.storage.first_index() > 1
+
+        cluster.reimage_member("region0-db3")
+        staging = cluster.hosts["region0-db3"].disk.namespace(STAGING_NAMESPACE)
+        run_until(cluster, lambda: len(staging.get("chunks", {})) >= 1, step=0.02)
+
+        cluster.crash("region0-db1")
+        new_primary = cluster.wait_for_primary(exclude="region0-db1")
+        assert new_primary.host.name == "region0-db2"
+
+        goal_log = new_primary.node.last_opid.index
+        goal_engine = new_primary.mysql.engine.last_committed_opid.index
+        run_until(
+            cluster,
+            member_caught_up(cluster, "region0-db3", goal_log, goal_engine),
+            timeout=60.0,
+        )
+        assert cluster.services["region0-db3"].node.metrics["snapshot_installs"] >= 1
+        assert new_primary.node.metrics["snapshots_shipped"] >= 1
+
+        cluster.restart("region0-db1")
+        run_until(cluster, cluster.databases_converged, timeout=30.0)
+
+    def test_partitioned_region_purge_then_ship(self):
+        # A partitioned region pins the vanilla purge watermark; with a
+        # snapshot the leader compacts past it, and on heal the stranded
+        # members (database AND logtailer) are re-seeded over the wire —
+        # the LogTruncatedError fallback path.
+        cluster = MyRaftReplicaset(two_region_spec(), seed=17)
+        primary = cluster.bootstrap()
+        load(cluster, primary, 20)
+        goal = primary.node.last_opid.index
+        run_until(cluster, member_caught_up(cluster, "region1-db1", goal))
+        run_until(cluster, member_caught_up(cluster, "region1-lt1", goal))
+
+        cluster.net.partition_regions("region0", "region1")
+        stalled = cluster.services["region1-db1"].node.last_opid.index
+        load(cluster, primary, 40, rotate_every=8, start=20)
+
+        # Vanilla purging is pinned at the partitioned region's watermark.
+        vanilla = safe_purge_horizon(
+            primary.node.membership, primary.node.leader_state.match_of
+        )
+        assert vanilla <= stalled + 1
+
+        purged = primary.snapshot_and_compact()
+        assert purged
+        # The leader compacted past what region1 holds: replay from the
+        # log alone can no longer catch them up.
+        assert primary.storage.first_index() > stalled + 1
+
+        cluster.net.heal_regions("region0", "region1")
+        primary = cluster.wait_for_primary()
+        goal_log = primary.node.last_opid.index
+        goal_engine = primary.mysql.engine.last_committed_opid.index
+        run_until(
+            cluster,
+            member_caught_up(cluster, "region1-db1", goal_log, goal_engine),
+            timeout=60.0,
+        )
+        run_until(
+            cluster,
+            member_caught_up(cluster, "region1-lt1", goal_log),
+            timeout=60.0,
+        )
+        assert cluster.services["region1-db1"].node.metrics["snapshot_installs"] >= 1
+        assert cluster.services["region1-lt1"].node.metrics["snapshot_installs"] >= 1
+        assert cluster.databases_converged()
