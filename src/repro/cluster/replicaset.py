@@ -112,6 +112,22 @@ class MyRaftReplicaset:
     def database_services(self) -> list[MyRaftServer]:
         return [s for s in self.services.values() if isinstance(s, MyRaftServer)]
 
+    def current_membership(self):
+        """The ring's latest membership view: the live leader's if one
+        exists, else the most recent config any live database holds,
+        falling back to the construction-time bootstrap list."""
+        primary = self.primary_service()
+        if primary is not None:
+            return primary.node.membership
+        best = self.membership
+        for service in self.database_services():
+            if not self.hosts[service.host.name].alive:
+                continue
+            view = service.node.membership
+            if view.config_index > best.config_index:
+                best = view
+        return best
+
     def primary_service(self) -> MyRaftServer | None:
         candidates = [
             s
@@ -161,19 +177,25 @@ class MyRaftReplicaset:
         start a brand-new service with an empty log. This is the worst-case
         bootstrap the snapshot subsystem exists for — the member rejoins
         holding nothing and must be caught up from the ring."""
-        member = self.membership.member(name)
-        if member is None:
-            raise ReproError(f"unknown member {name!r}")
         host = self.hosts[name]
         if host.alive:
             host.crash()
+        # Re-provision against the ring's *current* membership, not the
+        # construction-time bootstrap list — the ring may have grown or
+        # shrunk since (MembershipAutomation), and a stale config would
+        # have the fresh member contacting removed peers until a snapshot
+        # or CONFIG entry overwrites it.
+        membership = self.current_membership()
+        member = membership.member(name)
+        if member is None:
+            raise ReproError(f"unknown member {name!r}")
         host.disk.wipe()
         host.resurrect()
         router = router_for(self.raft_config)
         if member.has_storage_engine:
             service: Any = MyRaftServer(
                 host=host,
-                membership=self.membership,
+                membership=membership,
                 policy=self.policy,
                 raft_config=self.raft_config,
                 timing=self.timing,
@@ -185,7 +207,7 @@ class MyRaftReplicaset:
         else:
             service = LogtailerService(
                 host=host,
-                membership=self.membership,
+                membership=membership,
                 policy=self.policy,
                 raft_config=self.raft_config,
                 timing=self.timing,

@@ -92,6 +92,7 @@ class RaftNode:
         durable.setdefault("voted_for", (0, None))  # (term, candidate)
         durable.setdefault("last_leader", (0, None, None))  # (term, name, region)
         durable.setdefault("bootstrap_members", membership.to_wire())
+        durable.setdefault("bootstrap_config_index", 0)
         self._durable = durable
         # Invariant: current term is never behind the log's last term. This
         # matters when adopting a pre-existing log (enable-raft converts
@@ -157,7 +158,10 @@ class RaftNode:
             if entry is not None and entry.kind == ENTRY_KIND_CONFIG:
                 return MembershipConfig.from_wire(entry.metadata, entry.opid.index)
             index -= 1
-        return MembershipConfig.from_wire(self._durable["bootstrap_members"], 0)
+        return MembershipConfig.from_wire(
+            self._durable["bootstrap_members"],
+            self._durable.get("bootstrap_config_index", 0),
+        )
 
     # -- durable accessors ----------------------------------------------------
 
@@ -1162,6 +1166,7 @@ class RaftNode:
         """
         if members_wire:
             self._durable["bootstrap_members"] = tuple(members_wire)
+            self._durable["bootstrap_config_index"] = config_index
         if self.current_term < opid.term:
             self._set_term(opid.term)
         self.cache = LogCache(self.config.log_cache_max_bytes)

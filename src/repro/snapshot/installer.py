@@ -79,12 +79,15 @@ class SnapshotInstaller:
         if self._already_covers(request.last_opid):
             # Idempotent re-offer after a completed install (or the member
             # independently caught up): ack done without touching disk.
+            # Ack exactly the position the coverage check verified — never
+            # our own log tip, which may include a divergent uncommitted
+            # suffix the leader must not count toward match_index.
             staging.clear()
             return self._response(
                 request.snapshot_id,
                 next_seq=request.total_chunks,
                 done=True,
-                last_opid=self.node.storage.last_opid(),
+                last_opid=request.last_opid,
             )
         if staging.get("snapshot_id") == request.snapshot_id:
             if staging.get("chunks"):

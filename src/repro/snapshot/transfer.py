@@ -112,7 +112,10 @@ class LeaderSnapshotShipper:
             session.done = True
             self.sessions.pop(peer, None)
             self.metrics["ships_completed"] += 1
-            return response.last_opid
+            # Advance match only to the image we shipped, regardless of what
+            # the follower reported: its log tip may extend past the image
+            # with entries this leader has not verified.
+            return session.image.last_opid
         if not response.success:
             # Follower rejected (authority change or staging mismatch):
             # drop the session; replication will re-trigger a fresh offer.

@@ -90,6 +90,29 @@ class TestMembershipAutomation:
         newcomer = cluster.server("region1-db2")
         assert newcomer.mysql.engine.table("t").get(1) == {"id": 1, "v": "x"}
 
+    def test_reimage_uses_current_membership(self, cluster):
+        # After a membership change, a reimaged member must be provisioned
+        # against the ring's *current* config — not the construction-time
+        # bootstrap list, which would have it contacting removed peers.
+        cluster.write_and_run("t", {1: {"id": 1}}, seconds=2.0)
+        automation = MembershipAutomation(cluster)
+        new_member = MemberInfo("region0-lt3", "region0", MemberType.VOTER, False)
+        report = automation.run_replace("region0-lt1", new_member)
+        assert report.succeeded
+        cluster.run(2.0)
+
+        service = cluster.reimage_member("region1-db1")
+        bootstrap_view = service.node.membership
+        assert "region0-lt3" in bootstrap_view
+        assert "region0-lt1" not in bootstrap_view
+
+        cluster.write_and_run("t", {2: {"id": 2, "v": "y"}}, seconds=3.0)
+        cluster.run(5.0)
+        assert cluster.server("region1-db1").mysql.engine.table("t").get(2) == {
+            "id": 2,
+            "v": "y",
+        }
+
     def test_cannot_replace_current_leader(self, cluster):
         automation = MembershipAutomation(cluster)
         new_member = MemberInfo("region0-db2", "region0", MemberType.VOTER, True)
