@@ -1,0 +1,81 @@
+"""Leader replication hot-path wall-clock bench (repro.experiments.repl_hotpath).
+
+Acceptance gate for the shared fan-out read path: driving the paper
+topology (19 peers) under a sysbench-like write stream — including a
+one-region outage and catch-up, which exercises the historical
+binlog-parse fallback — the shared/read-through variant must do >= 2x
+fewer leader storage reads per replication round than the legacy
+per-peer path, with byte-identical replicated logs across every member
+and across both variants.
+
+Two entry points:
+
+* ``python benchmarks/bench_repl_hotpath.py [--smoke] [--out FILE]``
+  runs the A/B, prints the report, writes ``BENCH_repl_hotpath.json``,
+  and exits non-zero if a gate fails (what CI's perf-smoke step runs).
+* ``pytest benchmarks/bench_repl_hotpath.py`` runs the same thing under
+  pytest-benchmark (``REPL_HOTPATH_ENTRIES`` scales the stream).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.repl_hotpath import ReplHotpathResult, run_repl_hotpath
+
+ENTRIES = int(os.environ.get("REPL_HOTPATH_ENTRIES", "600"))
+SMOKE_ENTRIES = 150
+
+
+def check_gates(result: ReplHotpathResult, smoke: bool = False) -> None:
+    assert result.legacy.log_last_index == result.shared.log_last_index
+    assert result.logs_match, "replicated logs diverged"
+    assert result.read_reduction >= 2.0, (
+        f"storage reads/round only improved {result.read_reduction:.2f}x "
+        f"({result.legacy.reads_per_round:.1f} -> {result.shared.reads_per_round:.1f})"
+    )
+    # Wall-clock must not regress. Sub-second smoke runs are too noisy
+    # for this gate, so it only applies to full-size runs.
+    if not smoke:
+        assert result.wall_speedup > 1.0, (
+            f"shared path was not faster: {result.wall_speedup:.3f}x"
+        )
+
+
+def test_repl_hotpath(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_repl_hotpath(entries=ENTRIES), rounds=1, iterations=1
+    )
+    report_printer(result.format_report())
+    check_gates(result, smoke=ENTRIES < 600)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small stream ({SMOKE_ENTRIES} writes) for CI",
+    )
+    parser.add_argument("--entries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_repl_hotpath.json")
+    args = parser.parse_args(argv)
+
+    entries = args.entries if args.entries is not None else (
+        SMOKE_ENTRIES if args.smoke else ENTRIES
+    )
+    result = run_repl_hotpath(entries=entries, seed=args.seed)
+    print(result.format_report())
+    payload = result.to_json()
+    payload["smoke"] = bool(args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    check_gates(result, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from repro.experiments.flexi_ablation import run_flexi_ablation
 from repro.experiments.mock_election_ablation import run_mock_election_ablation
 from repro.experiments.proxy_bandwidth import run_proxy_bandwidth
 from repro.experiments.quorum_fixer_drill import run_quorum_fixer_drill
+from repro.experiments.repl_hotpath import run_repl_hotpath
 from repro.experiments.rollout_drill import run_rollout_drill
 from repro.experiments.snapshot_bootstrap import run_snapshot_bootstrap
 from repro.experiments.table1_roles import run_table1
@@ -33,6 +34,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "flexi-latency": run_flexi_ablation,
     "enable-raft": run_rollout_drill,
     "snapshot-bootstrap": run_snapshot_bootstrap,
+    "repl-hotpath": run_repl_hotpath,
 }
 
 

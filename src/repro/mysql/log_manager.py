@@ -47,6 +47,9 @@ class MySQLLogManager:
         if persona not in ("binlog", "relay"):
             raise BinlogError(f"unknown persona {persona!r}")
         self._state = durable
+        # Volatile probe counter: file-byte reads served (perf harness
+        # and fan-out tests assert on it; resets with the incarnation).
+        self.read_calls = 0
         if "files" not in self._state:
             self._state["files"] = {}
             self._state["index"] = LogIndex()
@@ -135,6 +138,7 @@ class MySQLLogManager:
 
     def read_transaction_bytes(self, location: TransactionLocation) -> bytes:
         """Raw encoded bytes of a transaction (no parse cost)."""
+        self.read_calls += 1
         try:
             log_file = self.files[location.file_name]
         except KeyError:

@@ -8,11 +8,18 @@ takes to serve followers that fell behind the in-memory cache).
 
 The index map (raft index → file/offset) is volatile and rebuilt by
 scanning the files — which is exactly what happens during crash
-recovery.
+recovery. Alongside it the storage keeps a per-file index-range map
+(file → lowest/highest raft index) so log maintenance — suffix
+truncation and compaction-tick file purges — touches only the affected
+range instead of scanning every record, and a small bounded memo of
+recently materialized payload bytes so the active read window (lagging
+followers re-reading the same suffix every round) skips the file-byte
+copy.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import LogTruncatedError, RaftError
@@ -36,6 +43,11 @@ from repro.raft.log_storage import (
 )
 from repro.raft.types import OpId
 
+# Recently read payloads kept decoded: sized to cover a few maximal
+# AppendEntries windows (max_entries_per_append = 64) without holding a
+# second copy of the whole log in memory.
+_PAYLOAD_MEMO_ENTRIES = 256
+
 
 def _classify_event(first) -> tuple[str, tuple]:
     if isinstance(first, GtidEvent):
@@ -53,12 +65,21 @@ def _classify(txn: Transaction) -> tuple[str, tuple]:
     return _classify_event(txn.events[0])
 
 
+def _gtid_of_event(first) -> Gtid | None:
+    if isinstance(first, GtidEvent):
+        return Gtid(first.source_uuid, first.txn_id)
+    return None
+
+
 @dataclass
 class _IndexRecord:
     location: TransactionLocation
     opid: OpId
     kind: str
     metadata: tuple
+    # Captured at append/scan time so truncation can strip GTID
+    # bookkeeping without decoding the payload again.
+    gtid: Gtid | None = None
 
 
 class BinlogRaftLogStorage(LogStorage):
@@ -67,6 +88,11 @@ class BinlogRaftLogStorage(LogStorage):
     def __init__(self, log_manager: MySQLLogManager) -> None:
         self._mgr = log_manager
         self._records: dict[int, _IndexRecord] = {}
+        # file name → (lowest, highest) raft index stored in that file.
+        # Indexes are dense and files are appended in order, so ranges
+        # are contiguous and monotonically increasing across the index.
+        self._file_ranges: dict[str, tuple[int, int]] = {}
+        self._payload_memo: OrderedDict[int, bytes] = OrderedDict()
         self._first = 1
         self._last = OpId.zero()
         self._rebuild_index()
@@ -92,6 +118,8 @@ class BinlogRaftLogStorage(LogStorage):
 
     def _rebuild_index(self) -> None:
         self._records.clear()
+        self._file_ranges.clear()
+        self._payload_memo.clear()
         base = self._mgr.base_opid()
         self._first = base.index + 1 if base is not None else 1
         self._last = base if base is not None else OpId.zero()
@@ -106,14 +134,23 @@ class BinlogRaftLogStorage(LogStorage):
                     raise RaftError(f"unstamped transaction in {file_name!r}")
                 kind, metadata = _classify(txn)
                 self._records[opid.index] = _IndexRecord(
-                    TransactionLocation(file_name, offset, length), opid, kind, metadata
+                    TransactionLocation(file_name, offset, length),
+                    opid,
+                    kind,
+                    metadata,
+                    _gtid_of_event(txn.events[0]),
                 )
+                self._note_index_in_file(file_name, opid.index)
                 if first_seen is None or opid.index < first_seen:
                     first_seen = opid.index
                 if opid > self._last:
                     self._last = opid
         if first_seen is not None:
             self._first = first_seen
+
+    def _note_index_in_file(self, file_name: str, index: int) -> None:
+        lo, hi = self._file_ranges.get(file_name, (index, index))
+        self._file_ranges[file_name] = (min(lo, index), max(hi, index))
 
     # -- LogStorage interface -----------------------------------------------------
 
@@ -135,14 +172,17 @@ class BinlogRaftLogStorage(LogStorage):
             kind, metadata = _classify_event(first_event)
             location = self._mgr.append_encoded(entry.payload, first_event)
             self._records[entry.opid.index] = _IndexRecord(
-                location, entry.opid, kind, metadata
+                location, entry.opid, kind, metadata, _gtid_of_event(first_event)
             )
+            self._note_index_in_file(location.file_name, entry.opid.index)
             self._last = entry.opid
 
     def truncate_from(self, index: int) -> list[LogEntry]:
         if index < self._first:
             raise LogTruncatedError(f"cannot truncate purged index {index}")
-        doomed = sorted(i for i in self._records if i >= index)
+        # The log is dense, so the doomed suffix is exactly
+        # [index, last] — O(suffix), no full-record scan.
+        doomed = [i for i in range(index, self._last.index + 1) if i in self._records]
         if not doomed:
             return []
         removed_entries = [self._entry_from_record(self._records[i]) for i in doomed]
@@ -159,17 +199,27 @@ class BinlogRaftLogStorage(LogStorage):
             log_file.truncate_transactions_from(keep)
             log_file.closed = was_closed
         # Strip the GTIDs of removed data transactions from the log's GTID
-        # bookkeeping (§3.3 step 4).
-        for entry in removed_entries:
-            txn = Transaction.decode(entry.payload)
-            gtid_event = txn.gtid_event
-            if gtid_event is not None:
-                self._mgr.log_gtids.remove(Gtid(gtid_event.source_uuid, gtid_event.txn_id))
+        # bookkeeping (§3.3 step 4) — captured in the index record, so no
+        # payload re-decode here.
+        for i in doomed:
+            gtid = self._records[i].gtid
+            if gtid is not None:
+                self._mgr.log_gtids.remove(gtid)
         for i in doomed:
             del self._records[i]
-        self._last = max(
-            (record.opid for record in self._records.values()), default=OpId.zero()
-        )
+            self._payload_memo.pop(i, None)
+        for name in by_file:
+            lo, _hi = self._file_ranges[name]
+            if lo >= index:
+                del self._file_ranges[name]
+            else:
+                self._file_ranges[name] = (lo, index - 1)
+        record = self._records.get(index - 1)
+        if record is not None:
+            self._last = record.opid
+        else:
+            base = self._mgr.base_opid()
+            self._last = base if base is not None else OpId.zero()
         return removed_entries
 
     def entry(self, index: int) -> LogEntry | None:
@@ -195,7 +245,15 @@ class BinlogRaftLogStorage(LogStorage):
         return record.opid
 
     def _entry_from_record(self, record: _IndexRecord) -> LogEntry:
-        payload = self._mgr.read_transaction_bytes(record.location)
+        index = record.opid.index
+        payload = self._payload_memo.get(index)
+        if payload is None:
+            payload = self._mgr.read_transaction_bytes(record.location)
+            self._payload_memo[index] = payload
+            while len(self._payload_memo) > _PAYLOAD_MEMO_ENTRIES:
+                self._payload_memo.popitem(last=False)
+        else:
+            self._payload_memo.move_to_end(index)
         return LogEntry(record.opid, payload, record.kind, record.metadata)
 
     def first_index(self) -> int:
@@ -211,33 +269,33 @@ class BinlogRaftLogStorage(LogStorage):
             "entries": len(self._records),
             "first_index": self._first,
             "last_index": self._last.index,
+            "payload_memo_entries": len(self._payload_memo),
         }
 
     # -- purging (§A.1) ---------------------------------------------------------------
 
     def purge_files_below(self, horizon_index: int) -> list[str]:
         """Remove whole log files whose every entry is below ``horizon``
-        (and that are not the current file). Returns purged file names."""
+        (and that are not the current file). Returns purged file names.
+        Eligibility comes from the per-file index-range map — O(files),
+        not O(entries), so compaction ticks stay cheap on big logs."""
         removable: list[str] = []
         for name in self._mgr.index.names()[:-1]:  # never the current file
-            indexes = [
-                i for i, record in self._records.items()
-                if record.location.file_name == name
-            ]
-            if indexes and max(indexes) >= horizon_index:
+            bounds = self._file_ranges.get(name)
+            if bounds is not None and bounds[1] >= horizon_index:
                 break  # purge must remain a prefix
             removable.append(name)
         if not removable:
             return []
         boundary = self._mgr.index.names()[len(removable)]
         purged = self._mgr.purge_logs_to(boundary, approval=lambda name: name in removable)
-        purged_set = set(purged)
-        dropped = [
-            i for i, record in self._records.items()
-            if record.location.file_name in purged_set
-        ]
-        for i in dropped:
-            del self._records[i]
-        if self._records:
-            self._first = min(self._records)
+        for name in purged:
+            bounds = self._file_ranges.pop(name, None)
+            if bounds is None:
+                continue
+            for i in range(bounds[0], bounds[1] + 1):
+                self._records.pop(i, None)
+                self._payload_memo.pop(i, None)
+        if self._file_ranges:
+            self._first = min(lo for lo, _hi in self._file_ranges.values())
         return purged

@@ -51,6 +51,14 @@ class RaftConfig:
 
     # -- log cache -------------------------------------------------------------
     log_cache_max_bytes: int = 4 << 20
+    # Storage-fallback reads populate the cache so one lagging reader
+    # warms the path for the rest. Off reproduces the pre-optimization
+    # behaviour (a miss stays a miss forever) for A/B benches.
+    cache_read_through: bool = True
+    # One storage read per distinct send cursor per replication round,
+    # shared by every peer at that cursor. Off reproduces the legacy
+    # one-read-per-peer fan-out for A/B benches.
+    shared_fanout_reads: bool = True
 
     # -- snapshot shipping / log compaction ----------------------------------
     # First-class state transfer (kuduraft tablet-copy style): when a

@@ -122,6 +122,17 @@ class LogStorage(ABC):
     def is_empty(self) -> bool:
         return self.last_opid() == OpId.zero()
 
+    def stats(self) -> dict:
+        """Log shape summary for experiments and perf observability;
+        implementations may extend with backend-specific fields."""
+        first = self.first_index()
+        last = self.last_opid().index
+        return {
+            "entries": max(0, last - first + 1),
+            "first_index": first,
+            "last_index": last,
+        }
+
 
 class InMemoryLogStorage(LogStorage):
     """List-backed storage for pure-Raft tests and logtailer-free sims.

@@ -119,6 +119,7 @@ class RaftNode:
             "transfers_initiated": 0,
             "snapshots_shipped": 0,
             "snapshot_installs": 0,
+            "replication_rounds": 0,
         }
 
     # ------------------------------------------------------------------ state
@@ -130,6 +131,7 @@ class RaftNode:
         self.role = RaftRole.FOLLOWER if self._is_voter else RaftRole.LEARNER
         self.leader_id: str | None = None
         self.commit_index = 0
+        self._commit_opid_memo = OpId.zero()
         self.leader_state: LeaderState | None = None
         self.cache = LogCache(self.config.log_cache_max_bytes)
         self._election_timer = None
@@ -209,8 +211,15 @@ class RaftNode:
     def commit_opid(self) -> OpId:
         if self.commit_index == 0:
             return OpId.zero()
-        term = self._term_at(self.commit_index)
-        return OpId(term if term is not None else 0, self.commit_index)
+        # A committed entry's term is immutable, so the lookup is memoized
+        # until the commit point moves — this property is on the
+        # per-AppendEntries hot path.
+        if self._commit_opid_memo.index != self.commit_index:
+            term = self._term_at(self.commit_index)
+            self._commit_opid_memo = OpId(
+                term if term is not None else 0, self.commit_index
+            )
+        return self._commit_opid_memo
 
     def _term_at(self, index: int) -> int | None:
         try:
@@ -224,6 +233,17 @@ class RaftNode:
     def _trace(self, kind: str, **fields: Any) -> None:
         if self.tracer is not None:
             self.tracer.emit(kind, node=self.name, term=self.current_term, **fields)
+
+    def stats(self) -> dict[str, Any]:
+        """Perf-observability counters (benches and shadow checks assert
+        on these instead of guessing): log shape from the storage layer
+        plus the log cache's hit/miss/fill/eviction counters and current
+        byte size, plus fan-out round count."""
+        return {
+            "log": self.storage.stats(),
+            "cache": self.cache.stats(),
+            "replication_rounds": self.metrics["replication_rounds"],
+        }
 
     def status(self) -> dict[str, Any]:
         """Operator-visible summary (control-plane tooling reads this)."""
@@ -652,53 +672,82 @@ class RaftNode:
     def _replicate_all(self, force: bool) -> None:
         if self.leader_state is None:
             return
-        for member in self.membership.peers_of(self.name):
-            self._replicate_to(member.name, force=force)
+        self.metrics["replication_rounds"] += 1
+        self._replicate_many(
+            [member.name for member in self.membership.peers_of(self.name)], force
+        )
 
     def _replicate_to(self, peer: str, force: bool) -> None:
+        self._replicate_many([peer], force)
+
+    def _replicate_many(self, peers: list[str], force: bool) -> None:
+        """Fan-out AppendEntries to ``peers``, sharing one storage read
+        (and one immutable entries tuple) among every peer at the same
+        send cursor instead of re-fetching per peer (§3.1's cache
+        fallback used to be paid once per peer per round)."""
         state = self.leader_state
         if state is None:
             return
         now = self.host.loop.now
-        progress = state.ensure_peer(peer, now)
         last = self.last_opid.index
-        retry_elapsed = now - progress.last_sent_time >= self.config.append_retry_interval
-
-        if progress.next_index > last:
-            if not force:
-                return
-            start = last + 1  # pure heartbeat
-        elif retry_elapsed:
-            start = progress.next_index  # (re)send from what's unacked
-        elif progress.last_sent_index < last:
-            start = max(progress.next_index, progress.last_sent_index + 1)  # pipeline new tail
-        elif force:
-            start = last + 1  # heartbeat carrying the commit marker
-        else:
-            return
-
-        prev_index = start - 1
-        prev_term = self._term_at(prev_index)
-        if prev_term is None or start < self.storage.first_index():
-            # Peer is so far behind that our log was purged below its
-            # next_index (LogTruncatedError territory): state transfer is
-            # the only way to catch it up. Ship a snapshot when the
-            # machinery is wired; otherwise resend from the oldest we
-            # still have (pure-protocol rings never purge mid-stream).
-            if self._maybe_ship_snapshot(peer):
-                return
-            start = self.storage.first_index()
-            prev_index = start - 1
-            prev_term = self._term_at(prev_index) or 0
-        entries = tuple(
-            self._entries_for_send(
-                start, self.config.max_entries_per_append, self.config.max_bytes_per_append
-            )
+        windows: dict[int, tuple[OpId, tuple]] | None = (
+            {} if self.config.shared_fanout_reads else None
         )
+        for peer in peers:
+            progress = state.ensure_peer(peer, now)
+            start = progress.send_window_start(
+                last, self.config.append_retry_interval, now, force
+            )
+            if start is None:
+                continue
+            self._send_window(peer, progress, start, now, windows)
+
+    def _send_window(
+        self,
+        peer: str,
+        progress: Any,
+        start: int,
+        now: float,
+        windows: "dict[int, tuple[OpId, tuple]] | None",
+    ) -> None:
+        window = windows.get(start) if windows is not None else None
+        if window is None:
+            prev_index = start - 1
+            last = self.last_opid
+            # Pure heartbeats (start just past the tail) resolve the prev
+            # term from the O(1) tail opid instead of a storage lookup.
+            if prev_index == last.index and prev_index > 0:
+                prev_term = last.term
+            else:
+                prev_term = self._term_at(prev_index)
+            if prev_term is None or start < self.storage.first_index():
+                # Peer is so far behind that our log was purged below its
+                # next_index (LogTruncatedError territory): state transfer
+                # is the only way to catch it up. Ship a snapshot when the
+                # machinery is wired; otherwise resend from the oldest we
+                # still have (pure-protocol rings never purge mid-stream).
+                if self._maybe_ship_snapshot(peer):
+                    return
+                start = self.storage.first_index()
+                prev_index = start - 1
+                prev_term = self._term_at(prev_index) or 0
+                window = windows.get(start) if windows is not None else None
+            if window is None:
+                entries = tuple(
+                    self._entries_for_send(
+                        start,
+                        self.config.max_entries_per_append,
+                        self.config.max_bytes_per_append,
+                    )
+                )
+                window = (OpId(prev_term, prev_index), entries)
+                if windows is not None:
+                    windows[start] = window
+        prev_opid, entries = window
         request = AppendEntriesRequest(
             term=self.current_term,
             leader=self.name,
-            prev_opid=OpId(prev_term, prev_index),
+            prev_opid=prev_opid,
             commit_opid=self.commit_opid,
             entries=entries,
             final_dest=peer,
@@ -708,19 +757,31 @@ class RaftNode:
         progress.last_sent_time = now
         self._dispatch_append(peer, request)
 
+    def _entry_for_read(self, index: int) -> LogEntry | None:
+        """Serve one entry from the in-memory cache; fall back to the log
+        abstraction (parsing historical binlog files) on a miss (§3.1).
+        Fallback hits populate the cache (read-through) so one lagging
+        reader warms the path for every peer behind it. May raise
+        :class:`LogTruncatedError` for purged indexes."""
+        entry = self.cache.get(index)
+        if entry is not None:
+            return entry
+        entry = self.storage.entry(index)
+        if entry is not None and self.config.cache_read_through:
+            self.cache.fill(entry)
+        return entry
+
     def _entries_for_send(self, start: int, max_entries: int, max_bytes: int) -> list[LogEntry]:
-        """Serve from the in-memory cache; fall back to the log
-        abstraction (parsing historical binlog files) on a miss (§3.1)."""
+        """Contiguous entries from ``start`` bounded by count and bytes
+        (≥1 entry if one exists, so a huge entry still replicates)."""
         entries: list[LogEntry] = []
         total = 0
         index = start
         while len(entries) < max_entries:
-            entry = self.cache.get(index)
-            if entry is None:
-                try:
-                    entry = self.storage.entry(index)
-                except LogTruncatedError:
-                    break
+            try:
+                entry = self._entry_for_read(index)
+            except LogTruncatedError:
+                break
             if entry is None:
                 break
             if entries and total + entry.size_bytes > max_bytes:
@@ -813,12 +874,10 @@ class RaftNode:
         entries = []
         missing = None
         for opid in request.proxy_opids:
-            entry = self.cache.get(opid.index)
-            if entry is None:
-                try:
-                    entry = self.storage.entry(opid.index)
-                except LogTruncatedError:
-                    entry = None
+            try:
+                entry = self._entry_for_read(opid.index)
+            except LogTruncatedError:
+                entry = None
             if entry is None or entry.opid != opid:
                 missing = opid
                 break
@@ -871,8 +930,7 @@ class RaftNode:
             )
             if available:
                 entries = tuple(
-                    self.cache.get(opid.index) or self.storage.entry(opid.index)
-                    for opid in request.proxy_opids
+                    self._entry_for_read(opid.index) for opid in request.proxy_opids
                 )
                 self._forward_reconstituted(pending["src"], request, entries)
             else:
@@ -880,12 +938,10 @@ class RaftNode:
         self._pending_proxy = still_waiting
 
     def _have_entry(self, opid: OpId) -> bool:
-        entry = self.cache.get(opid.index)
-        if entry is None:
-            try:
-                entry = self.storage.entry(opid.index)
-            except LogTruncatedError:
-                return False
+        try:
+            entry = self._entry_for_read(opid.index)
+        except LogTruncatedError:
+            return False
         return entry is not None and entry.opid == opid
 
     def _forward_reconstituted(

@@ -31,6 +31,24 @@ class PeerProgress:
         self.next_index = max(self.next_index, self.match_index + 1)
         self.last_ack_time = now
 
+    def send_window_start(
+        self, last_log_index: int, retry_interval: float, now: float, force: bool
+    ) -> int | None:
+        """Where an AppendEntries to this peer should start, or None for
+        nothing to send. ``last_log_index + 1`` means a pure heartbeat
+        (carrying only the commit marker). The leader groups peers by
+        this cursor so one storage read serves every peer at the same
+        start (shared fan-out reads)."""
+        if self.next_index > last_log_index:
+            return last_log_index + 1 if force else None  # pure heartbeat
+        if now - self.last_sent_time >= retry_interval:
+            return self.next_index  # (re)send from what's unacked
+        if self.last_sent_index < last_log_index:
+            return max(self.next_index, self.last_sent_index + 1)  # pipeline new tail
+        if force:
+            return last_log_index + 1  # heartbeat carrying the commit marker
+        return None
+
 
 @dataclass
 class LeaderState:

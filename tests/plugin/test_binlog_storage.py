@@ -171,3 +171,70 @@ class TestPurging:
     def test_never_purges_current_file(self, storage):
         storage.append([data_entry(1)])
         assert storage.purge_files_below(horizon_index=100) == []
+
+
+class TestIndexedMaintenance:
+    """The per-file index-range map and the bounded payload memo."""
+
+    def test_file_ranges_track_appends_and_rotation(self, storage):
+        storage.append([data_entry(1), rotate_entry(2)])
+        storage.append([data_entry(3), data_entry(4)])
+        ranges = sorted(storage._file_ranges.values())
+        assert ranges == [(1, 2), (3, 4)]
+
+    def test_file_ranges_survive_rebuild(self, storage):
+        storage.append([data_entry(1), rotate_entry(2), data_entry(3)])
+        before = dict(storage._file_ranges)
+        rebuilt = BinlogRaftLogStorage(storage.log_manager)
+        assert rebuilt._file_ranges == before
+
+    def test_truncate_updates_ranges(self, storage):
+        storage.append([data_entry(1), rotate_entry(2)])
+        storage.append([data_entry(3), data_entry(4), data_entry(5)])
+        storage.truncate_from(4)
+        assert sorted(storage._file_ranges.values()) == [(1, 2), (3, 3)]
+        assert storage.last_opid() == OpId(1, 3)
+        # Truncating a whole trailing file drops its range entry.
+        storage.truncate_from(3)
+        assert sorted(storage._file_ranges.values()) == [(1, 2)]
+
+    def test_purge_drops_ranges_and_memo(self, storage):
+        storage.append([data_entry(1), rotate_entry(2)])
+        storage.append([data_entry(3)])
+        storage.entry(1)  # populate the payload memo
+        assert 1 in storage._payload_memo
+        purged = storage.purge_files_below(horizon_index=3)
+        assert len(purged) == 1
+        assert 1 not in storage._payload_memo
+        assert sorted(storage._file_ranges.values()) == [(3, 3)]
+
+    def test_payload_memo_serves_repeat_reads_without_file_io(self, storage):
+        storage.append([data_entry(1), data_entry(2)])
+        mgr = storage.log_manager
+        baseline = mgr.read_calls
+        storage.entry(1)
+        assert mgr.read_calls == baseline + 1
+        for _ in range(5):
+            assert storage.entry(1).opid == OpId(1, 1)
+        assert mgr.read_calls == baseline + 1  # memo hit, no re-parse
+
+    def test_payload_memo_is_bounded(self, storage):
+        from repro.plugin import binlog_storage as mod
+
+        entries = [data_entry(i) for i in range(1, 12)]
+        storage.append(entries)
+        old = mod._PAYLOAD_MEMO_ENTRIES
+        mod._PAYLOAD_MEMO_ENTRIES = 4
+        try:
+            for i in range(1, 12):
+                storage.entry(i)
+            assert len(storage._payload_memo) <= 4
+        finally:
+            mod._PAYLOAD_MEMO_ENTRIES = old
+
+    def test_truncate_strips_gtid_without_decoding(self, storage):
+        storage.append([data_entry(1, txn_id=11), data_entry(2, txn_id=12)])
+        assert storage._records[2].gtid == Gtid(UUID, 12)
+        storage.truncate_from(2)
+        assert not storage.log_manager.log_gtids.contains(Gtid(UUID, 12))
+        assert storage.log_manager.log_gtids.contains(Gtid(UUID, 11))

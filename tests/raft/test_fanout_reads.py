@@ -1,0 +1,151 @@
+"""Shared fan-out reads: one storage read per index per replication
+round, no matter how many peers are behind (§3.1 hot path).
+
+A 13-voter ring (leader + 12 followers, the paper topology's witness
+count) with every follower forced to the same lagging cursor must cost
+the leader exactly one window's worth of storage reads per round in
+shared mode — and read-through means the *next* round costs none. The
+legacy configuration pays the window once per peer, every round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.raft.config import RaftConfig
+from repro.raft.types import RaftRole
+
+from tests.raft.harness import RaftRing, voter
+
+FOLLOWERS = 12
+
+
+def _ring(**config_kwargs) -> RaftRing:
+    members = [voter("leader")] + [voter(f"f{i}") for i in range(1, FOLLOWERS + 1)]
+    ring = RaftRing(members, raft_config=RaftConfig(**config_kwargs))
+    ring.bootstrap("leader")
+    for _ in range(8):
+        ring.commit_and_run(seconds=0.2)
+    return ring
+
+
+class _EntryProbe:
+    """Instance-attribute shadow of ``storage.entry`` counting calls."""
+
+    def __init__(self, storage) -> None:
+        self.reads = 0
+        inner = storage.entry
+
+        def counting_entry(index):
+            self.reads += 1
+            return inner(index)
+
+        storage.entry = counting_entry
+
+
+def _reset_to_lagging(leader) -> None:
+    """Rewind every peer to cursor 1 with the retry window expired, so
+    the next replication round resends the whole log to all of them."""
+    for progress in leader.leader_state.peers.values():
+        progress.next_index = 1
+        progress.last_sent_index = 0
+        progress.last_sent_time = -1e9
+
+
+def _window_length(leader) -> int:
+    # The full log fits in one append window here; the send loop also
+    # probes one index past the tail to find the end.
+    assert leader.last_opid.index <= leader.config.max_entries_per_append
+    return leader.last_opid.index + 1
+
+
+class TestSharedFanoutReads:
+    def test_one_read_per_index_per_round(self):
+        ring = _ring()  # defaults: shared_fanout_reads + cache_read_through on
+        leader = ring.node("leader")
+        assert leader.role == RaftRole.LEADER
+
+        _reset_to_lagging(leader)
+        leader.cache.clear()
+        probe = _EntryProbe(leader.storage)
+        leader._replicate_all(force=True)
+        # One shared window read for 12 lagging peers: cold cache, so
+        # every in-window index hits storage exactly once.
+        assert probe.reads == _window_length(leader)
+
+        # Read-through populated the cache, so the same round again is
+        # free apart from the one probe past the tail.
+        _reset_to_lagging(leader)
+        probe.reads = 0
+        leader._replicate_all(force=True)
+        assert probe.reads == 1
+
+        # The rewound rounds really replicated: everyone reconverges.
+        ring.run(1.0)
+        assert ring.logs_consistent_up_to_commit()
+
+    def test_legacy_mode_pays_per_peer(self):
+        ring = _ring(shared_fanout_reads=False, cache_read_through=False)
+        leader = ring.node("leader")
+        assert leader.role == RaftRole.LEADER
+
+        _reset_to_lagging(leader)
+        leader.cache.clear()
+        probe = _EntryProbe(leader.storage)
+        leader._replicate_all(force=True)
+        assert probe.reads == FOLLOWERS * _window_length(leader)
+
+        # No read-through: a miss stays a miss, so round two costs the
+        # same all over again.
+        _reset_to_lagging(leader)
+        probe.reads = 0
+        leader._replicate_all(force=True)
+        assert probe.reads == FOLLOWERS * _window_length(leader)
+
+    def test_caught_up_heartbeat_probes_once(self):
+        ring = _ring()
+        leader = ring.node("leader")
+        # Steady state: every peer at the tail. A forced heartbeat round
+        # probes the one index past the tail exactly once, shared.
+        ring.run(1.0)
+        probe = _EntryProbe(leader.storage)
+        leader.cache.clear()
+        leader._replicate_all(force=True)
+        assert probe.reads == 1
+
+
+class TestNodeStats:
+    def test_stats_shape(self):
+        ring = _ring()
+        leader = ring.node("leader")
+        stats = leader.stats()
+        assert stats["replication_rounds"] > 0
+        assert stats["log"]["last_index"] == leader.last_opid.index
+        cache = stats["cache"]
+        for key in (
+            "hits", "misses", "fills", "evictions",
+            "hit_rate", "entries", "size_bytes", "max_bytes",
+        ):
+            assert key in cache
+        assert cache["size_bytes"] <= cache["max_bytes"]
+
+    def test_read_through_counts_fills(self):
+        ring = _ring()
+        leader = ring.node("leader")
+        leader.cache.clear()
+        _reset_to_lagging(leader)
+        before = leader.cache.stats()["fills"]
+        leader._replicate_all(force=True)
+        assert leader.cache.stats()["fills"] == before + leader.last_opid.index
+
+    def test_legacy_never_fills(self):
+        ring = _ring(shared_fanout_reads=False, cache_read_through=False)
+        leader = ring.node("leader")
+        leader.cache.clear()
+        _reset_to_lagging(leader)
+        leader._replicate_all(force=True)
+        assert leader.cache.stats()["fills"] == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

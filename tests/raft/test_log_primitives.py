@@ -132,6 +132,37 @@ class TestLogCache:
         cache.clear()
         assert len(cache) == 0 and cache.size_bytes == 0
 
+    def test_giant_entry_escape_hatch(self):
+        # An entry bigger than the whole budget must still be cacheable
+        # (it has to replicate), but only as the sole survivor of a full
+        # eviction sweep — and the next insert evicts it again.
+        cache = LogCache(max_bytes=100)
+        for i in range(1, 4):
+            cache.put(entry(i, size=30))
+        cache.put(entry(4, size=500))
+        assert len(cache) == 1 and 4 in cache
+        assert cache.size_bytes > cache.max_bytes  # documented over-budget state
+        cache.put(entry(5, size=30))
+        assert 4 not in cache and 5 in cache
+        assert cache.size_bytes <= cache.max_bytes
+
+    def test_fill_counts_and_serves(self):
+        cache = LogCache(max_bytes=1024)
+        assert cache.get(7) is None
+        cache.fill(entry(7))
+        assert cache.get(7).opid == OpId(1, 7)
+        stats = cache.stats()
+        assert stats["fills"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_eviction_counter(self):
+        cache = LogCache(max_bytes=100)
+        for i in range(1, 6):
+            cache.put(entry(i, size=30))
+        assert cache.stats()["evictions"] == 2
+        assert cache.stats()["entries"] == len(cache)
+
     @given(st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=60))
     def test_budget_invariant(self, sizes):
         cache = LogCache(max_bytes=200)
