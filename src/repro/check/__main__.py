@@ -1,0 +1,204 @@
+"""CLI for the model-checking harness.
+
+Sweep (the default)::
+
+    python -m repro.check --seeds 200
+    python -m repro.check --smoke                 # 25-seed PR gate
+    python -m repro.check --scenario leader-crash-loop --seeds 50
+
+Bundles::
+
+    python -m repro.check --replay bundles/crashes-seed17.json
+    python -m repro.check --shrink bundles/crashes-seed17.json
+
+Self-validation (a weakened safety rule must be caught and shrunk)::
+
+    python -m repro.check --mutate all
+    python -m repro.check --mutate election-own-region-only
+
+Exit codes: 0 clean (or self-test passed), 1 violations found (or
+self-test failed), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.check.explorer import (
+    explore,
+    load_bundle,
+    replay_bundle,
+    run_once,
+    write_bundle,
+)
+from repro.check.mutations import MUTATIONS
+from repro.check.scenarios import SCENARIOS
+from repro.check.shrink import shrink_schedule
+from repro.workload.faults import FaultEvent
+
+# Scenario order used when hunting for a mutation's symptom: the
+# crash-loop exposes quorumless commits fastest, churn exposes vote bugs.
+MUTATION_HUNT_ORDER = ["leader-crash-loop", "crashes", "pause-storm", "region-partitions"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--seeds", type=int, default=50, help="seeds per scenario")
+    parser.add_argument("--base-seed", type=int, default=1, help="first seed")
+    parser.add_argument(
+        "--scenario", action="append", default=None,
+        help="scenario name (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="PR-gate batch: 25 seeds across every scenario",
+    )
+    parser.add_argument(
+        "--mutate", default=None, metavar="NAME",
+        help="self-validation: run with a weakened safety rule "
+        "('all' runs every mutation)",
+    )
+    parser.add_argument(
+        "--bundle-dir", type=Path, default=Path(".check-bundles"),
+        help="where failing-run bundles are written",
+    )
+    parser.add_argument("--replay", type=Path, default=None, help="replay a bundle")
+    parser.add_argument(
+        "--shrink", type=Path, default=None,
+        help="ddmin a bundle's fault schedule to a minimal failing one",
+    )
+    parser.add_argument("--list", action="store_true", help="list scenarios/mutations")
+    parser.add_argument("--quiet", action="store_true", help="only print the summary")
+    return parser
+
+
+def _log(quiet: bool):
+    if quiet:
+        return None
+    return lambda message: print(message, flush=True)
+
+
+def _cmd_list() -> int:
+    print("scenarios:")
+    for scenario in SCENARIOS.values():
+        print(f"  {scenario.name:20s} {scenario.description}")
+    print("mutations:")
+    for mutation in MUTATIONS.values():
+        print(f"  {mutation.name:26s} {mutation.description}")
+    return 0
+
+
+def _cmd_replay(path: Path, quiet: bool) -> int:
+    outcome = replay_bundle(path)
+    original = load_bundle(path)
+    print(f"replayed {original['scenario']} seed={original['seed']}: "
+          f"{'ok' if outcome.ok else ','.join(outcome.failure_kinds())}")
+    if outcome.digest() == original.get("digest"):
+        print("digest matches the bundle: byte-for-byte reproduction")
+    else:
+        print("digest DIFFERS from the bundle (code changed since capture?)")
+    if not outcome.ok and not quiet:
+        for violation in outcome.violations:
+            print(f"  {violation}")
+        print(f"  {outcome.lin_detail}")
+    return 0 if outcome.ok else 1
+
+
+def _cmd_shrink(path: Path, quiet: bool) -> int:
+    data = load_bundle(path)
+    scenario = SCENARIOS[data["scenario"]]
+    events = [FaultEvent.from_wire(w) for w in data["fault_events"]]
+    result = shrink_schedule(
+        scenario, int(data["seed"]), events,
+        mutation=data.get("mutation"), log=_log(quiet),
+    )
+    print(f"shrink: {len(result.original)} -> {len(result.minimal)} fault events "
+          f"in {result.probes} probes")
+    for event in result.minimal:
+        print(f"  {event.to_wire()}")
+    return 0
+
+
+def _run_sweep(args) -> int:
+    names = args.scenario or sorted(SCENARIOS)
+    seeds = list(range(args.base_seed, args.base_seed + (25 if args.smoke else args.seeds)))
+    report = explore(names, seeds, bundle_dir=args.bundle_dir, log=_log(args.quiet))
+    print(f"sweep: {report.runs} runs, {len(report.failures)} failures")
+    for bundle in report.bundles:
+        print(f"  bundle: {bundle}")
+    return 0 if report.ok else 1
+
+
+def _run_mutations(args) -> int:
+    names = sorted(MUTATIONS) if args.mutate == "all" else [args.mutate]
+    log = _log(args.quiet)
+    all_passed = True
+    for name in names:
+        if name not in MUTATIONS:
+            print(f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}")
+            return 2
+        passed = _validate_mutation(name, args, log)
+        print(f"mutation {name}: {'DETECTED and shrunk' if passed else 'NOT DETECTED'}")
+        all_passed = all_passed and passed
+    return 0 if all_passed else 1
+
+
+def _validate_mutation(name: str, args, log) -> bool:
+    """True when the weakened rule is caught by the monitors and its fault
+    schedule shrinks to a minimal failing one."""
+    seeds = range(args.base_seed, args.base_seed + max(args.seeds, 10))
+    for scenario_name in MUTATION_HUNT_ORDER:
+        scenario = SCENARIOS[scenario_name]
+        for seed in seeds:
+            outcome = run_once(scenario, seed, mutation=name)
+            if log is not None:
+                status = "ok" if outcome.ok else ",".join(outcome.failure_kinds())
+                log(f"  {name} {scenario_name} seed={seed}: {status}")
+            if outcome.ok:
+                continue
+            bundle = write_bundle(outcome, args.bundle_dir)
+            if log is not None:
+                log(f"  detected -> {bundle}")
+            events = [FaultEvent.from_wire(w) for w in outcome.fault_events]
+            if not events:
+                # Violation without any fault (e.g. at bootstrap): already
+                # minimal, nothing to shrink.
+                return True
+            result = shrink_schedule(scenario, seed, events, mutation=name, log=log)
+            if len(result.minimal) < len(result.original):
+                if log is not None:
+                    log(f"  shrunk {len(result.original)} -> {len(result.minimal)} "
+                        f"events in {result.probes} probes")
+                return True
+            # Scripted replay diverged or already minimal; detection still
+            # counts if the scripted replay reproduces the failure.
+            if result.probes > 0 and result.minimal == result.original:
+                replayed = run_once(
+                    scenario, seed, schedule=events, mutation=name
+                )
+                if not replayed.ok:
+                    return True
+            # Otherwise hunt for a different failing run.
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        return _cmd_list()
+    if args.replay is not None:
+        return _cmd_replay(args.replay, args.quiet)
+    if args.shrink is not None:
+        return _cmd_shrink(args.shrink, args.quiet)
+    if args.mutate is not None:
+        return _run_mutations(args)
+    return _run_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Seed explorer: sweep scenarios × seeds, bundle anything that fails.
+
+One :func:`run_once` is a complete, deterministic experiment: build the
+cluster for a scenario at a seed, attach the invariant monitors, record
+the client history, inject faults, then check every invariant and the
+linearizability of the observed history. :func:`explore` sweeps the
+matrix and writes a self-contained repro bundle (JSON: scenario, seed,
+fault schedule, violations, trace tail) for every failing run —
+re-running the bundle's (scenario, seed) reproduces the run event for
+event, because the simulator is deterministic in exactly those inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.check.history import HistoryRecorder, check_linearizable
+from repro.check.invariants import InvariantSuite
+from repro.check.mutations import apply_mutation
+from repro.check.scenarios import SCENARIOS, Scenario
+from repro.cluster.replicaset import MyRaftReplicaset
+from repro.errors import ReproError
+from repro.workload.faults import FaultEvent, FaultSchedule
+from repro.workload.runner import WorkloadRunner
+
+TRACE_TAIL = 200
+
+
+@dataclass
+class RunOutcome:
+    """Everything one experiment produced, JSON-serializable."""
+
+    scenario: str
+    seed: int
+    violations: list = field(default_factory=list)  # Violation.to_wire() dicts
+    linearizable: bool = True
+    lin_detail: str = ""
+    committed: int = 0
+    errors: int = 0
+    crashed: str | None = None  # the run itself raised (liveness failure)
+    checks: dict = field(default_factory=dict)
+    history_stats: dict = field(default_factory=dict)
+    fault_events: list = field(default_factory=list)  # FaultEvent.to_wire()
+    mutation: str | None = None
+    scripted: bool = False  # fault_events were replayed as a script
+    trace_tail: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.linearizable and self.crashed is None
+
+    def failure_kinds(self) -> list[str]:
+        kinds = [v["invariant"] for v in self.violations]
+        if not self.linearizable:
+            kinds.append("Linearizability")
+        if self.crashed is not None:
+            kinds.append("RunCrashed")
+        return kinds
+
+    def digest(self) -> str:
+        """Hash of the deterministic face of the outcome — two runs of the
+        same (scenario, seed, schedule, mutation) must agree on it."""
+        canonical = json.dumps(
+            {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "violations": self.violations,
+                "linearizable": self.linearizable,
+                "committed": self.committed,
+                "errors": self.errors,
+                "crashed": self.crashed,
+                "history": self.history_stats,
+                "faults": self.fault_events,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "violations": self.violations,
+            "linearizable": self.linearizable,
+            "lin_detail": self.lin_detail,
+            "committed": self.committed,
+            "errors": self.errors,
+            "crashed": self.crashed,
+            "checks": self.checks,
+            "history_stats": self.history_stats,
+            "fault_events": self.fault_events,
+            "mutation": self.mutation,
+            "scripted": self.scripted,
+            "digest": self.digest(),
+            "trace_tail": self.trace_tail,
+        }
+
+
+def run_once(
+    scenario: Scenario,
+    seed: int,
+    schedule: list[FaultEvent] | None = None,
+    mutation: str | None = None,
+) -> RunOutcome:
+    """One deterministic experiment. ``schedule`` overrides the scenario's
+    own fault source with a scripted event list (replay / shrinking)."""
+    outcome = RunOutcome(
+        scenario=scenario.name,
+        seed=seed,
+        mutation=mutation,
+        scripted=schedule is not None,
+    )
+    with apply_mutation(mutation):
+        cluster = MyRaftReplicaset(scenario.topology(), seed=seed, trace_capacity=2048)
+        suite = InvariantSuite()
+        suite.attach(cluster)
+        history = HistoryRecorder(cluster.loop)
+        injector = None
+        scripted: FaultSchedule | None = None
+        try:
+            cluster.bootstrap(timeout=30.0)
+            if schedule is not None:
+                scripted = FaultSchedule(list(schedule))
+                scripted.arm(cluster)
+            else:
+                injector, scripted = scenario.make_faults(
+                    cluster, cluster.rng.child("faults")
+                )
+                if injector is not None:
+                    injector.start(scenario.duration)
+                else:
+                    scripted.arm(cluster)
+            runner = WorkloadRunner(cluster, scenario.workload_spec(), history=history)
+            result = runner.run(scenario.duration)
+            cluster.run(scenario.settle)
+            suite.check_cluster(cluster)
+            outcome.committed = result.committed
+            outcome.errors = result.errors
+        except Exception as err:  # noqa: BLE001 - a dead run is a finding
+            outcome.crashed = f"{type(err).__name__}: {err}"
+        report = check_linearizable(history)
+        outcome.violations = [v.to_wire() for v in suite.violations]
+        outcome.linearizable = report.ok
+        outcome.lin_detail = report.describe()
+        outcome.checks = suite.summary()["checks"]
+        outcome.history_stats = history.stats()
+        events = injector.events if injector is not None else (
+            scripted.events if scripted is not None else []
+        )
+        outcome.fault_events = [e.to_wire() for e in events]
+        outcome.trace_tail = [str(r) for r in cluster.tracer.tail(TRACE_TAIL)]
+    return outcome
+
+
+@dataclass
+class ExploreReport:
+    """What a sweep did."""
+
+    runs: int = 0
+    failures: list = field(default_factory=list)  # RunOutcome
+    bundles: list = field(default_factory=list)  # Path
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def explore(
+    scenario_names: list[str],
+    seeds: list[int],
+    mutation: str | None = None,
+    bundle_dir: Path | None = None,
+    log=None,
+) -> ExploreReport:
+    """Sweep ``scenario_names`` × ``seeds``; write a bundle per failure."""
+    report = ExploreReport()
+    for name in scenario_names:
+        scenario = SCENARIOS.get(name)
+        if scenario is None:
+            raise ReproError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+        for seed in seeds:
+            outcome = run_once(scenario, seed, mutation=mutation)
+            report.runs += 1
+            if not outcome.ok:
+                report.failures.append(outcome)
+                if bundle_dir is not None:
+                    report.bundles.append(write_bundle(outcome, bundle_dir))
+            if log is not None:
+                status = "ok" if outcome.ok else ",".join(outcome.failure_kinds())
+                log(
+                    f"[{report.runs}] {name} seed={seed}: {status} "
+                    f"(committed={outcome.committed}, faults={len(outcome.fault_events) // 2})"
+                )
+    return report
+
+
+def write_bundle(outcome: RunOutcome, directory: Path) -> Path:
+    """Persist a self-contained repro bundle for a failing run."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = f"-{outcome.mutation}" if outcome.mutation else ""
+    path = directory / f"{outcome.scenario}{suffix}-seed{outcome.seed}.json"
+    path.write_text(json.dumps(outcome.to_wire(), indent=2, sort_keys=True))
+    return path
+
+
+def load_bundle(path: Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def replay_bundle(path: Path, scripted: bool = False) -> RunOutcome:
+    """Re-run a bundle. Default replays the original (scenario, seed) run
+    exactly; ``scripted=True`` instead replays the recorded fault events
+    as a scripted schedule (the shrinker's view of the run)."""
+    data = load_bundle(path)
+    scenario = SCENARIOS.get(data["scenario"])
+    if scenario is None:
+        raise ReproError(f"bundle names unknown scenario {data['scenario']!r}")
+    schedule = None
+    if scripted:
+        schedule = [FaultEvent.from_wire(w) for w in data["fault_events"]]
+    return run_once(
+        scenario, int(data["seed"]), schedule=schedule, mutation=data.get("mutation")
+    )

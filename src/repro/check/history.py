@@ -1,0 +1,199 @@
+"""Client history recording and linearizability checking.
+
+The workload runner records every client operation as an :class:`OpRecord`
+with its real-time invocation/response window; after the run,
+:func:`check_linearizable` verifies the per-key projection of the history
+against a register model using the Wing–Gong search.
+
+Soundness notes:
+
+- A transaction commits atomically at one instant, so the per-key
+  projection of a (strictly serializable) transactional history must be
+  linearizable per key — checking keys independently loses no violations
+  for single-register semantics while keeping the search tractable.
+- A write that *failed before submission* (``ReadOnlyError``) never
+  reached the log and is discarded. A write that failed *after*
+  submission — or never returned — is indeterminate: its payload may
+  already sit in a log suffix a future leader commits, so the search may
+  linearize it anywhere after its invocation or drop it entirely.
+- Failed or unfinished reads constrain nothing and are discarded.
+- Write values are unique (the workload stamps ``txn<N>.<offset>``),
+  which keeps the Wing–Gong state space small: a register state is just
+  the last linearized write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+OK = "ok"
+FAILED = "failed"  # definitely not applied (rejected before submission)
+MAYBE = "maybe"  # failed after submission: may still commit later
+PENDING = "pending"  # never returned before the run ended
+
+
+@dataclass
+class OpRecord:
+    """One client operation as the client saw it."""
+
+    client: int
+    kind: str  # "write" | "read"
+    key: Any  # (table, pk)
+    value: Any  # written value, or observed value for a completed read
+    invoked: float
+    returned: float | None = None
+    status: str = PENDING
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "client": self.client,
+            "kind": self.kind,
+            "key": list(self.key) if isinstance(self.key, tuple) else self.key,
+            "value": self.value,
+            "invoked": self.invoked,
+            "returned": self.returned,
+            "status": self.status,
+        }
+
+
+class HistoryRecorder:
+    """Collects :class:`OpRecord` objects in invocation order."""
+
+    def __init__(self, loop) -> None:
+        self._loop = loop
+        self.ops: list[OpRecord] = []
+
+    def invoke(self, client: int, kind: str, key: Any, value: Any = None) -> OpRecord:
+        op = OpRecord(
+            client=client, kind=kind, key=key, value=value, invoked=self._loop.now
+        )
+        self.ops.append(op)
+        return op
+
+    def complete(self, op: OpRecord, value: Any = ...) -> None:
+        op.returned = self._loop.now
+        op.status = OK
+        if value is not ...:
+            op.value = value
+
+    def fail(self, op: OpRecord, definite: bool) -> None:
+        op.returned = self._loop.now
+        op.status = FAILED if definite else MAYBE
+
+    def by_key(self) -> dict[Any, list["OpRecord"]]:
+        keys: dict[Any, list[OpRecord]] = {}
+        for op in self.ops:
+            keys.setdefault(op.key, []).append(op)
+        return keys
+
+    def stats(self) -> dict[str, int]:
+        out = {"ops": len(self.ops), OK: 0, FAILED: 0, MAYBE: 0, PENDING: 0}
+        for op in self.ops:
+            out[op.status] += 1
+        return out
+
+
+@dataclass
+class LinearizabilityReport:
+    """Outcome of checking one history."""
+
+    ok: bool
+    keys_checked: int = 0
+    ops_checked: int = 0
+    #: On failure: the key and its per-key history that admitted no
+    #: linearization.
+    failed_key: Any = None
+    failed_ops: list[OpRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"linearizable: {self.ops_checked} ops over {self.keys_checked} keys"
+            )
+        window = ", ".join(
+            f"{op.kind}({op.value!r})@[{op.invoked:.3f},"
+            f"{op.returned if op.returned is not None else 'inf'}]:{op.status}"
+            for op in self.failed_ops
+        )
+        return f"NOT linearizable at key {self.failed_key}: {window}"
+
+
+def check_linearizable(
+    recorder: HistoryRecorder, initial: Any = None
+) -> LinearizabilityReport:
+    """Wing–Gong search over the per-key projections of the history."""
+    report = LinearizabilityReport(ok=True)
+    for key, ops in sorted(recorder.by_key().items(), key=lambda kv: str(kv[0])):
+        relevant = _relevant_ops(ops)
+        if not relevant:
+            continue
+        report.keys_checked += 1
+        report.ops_checked += len(relevant)
+        if not _check_key(relevant, initial):
+            report.ok = False
+            report.failed_key = key
+            report.failed_ops = relevant
+            return report
+    return report
+
+
+def _relevant_ops(ops: list[OpRecord]) -> list[OpRecord]:
+    """Drop the operations that constrain nothing (see module docstring)."""
+    kept = []
+    for op in ops:
+        if op.kind == "read" and op.status != OK:
+            continue
+        if op.kind == "write" and op.status == FAILED:
+            continue
+        kept.append(op)
+    return kept
+
+
+_INF = float("inf")
+
+
+def _check_key(ops: list[OpRecord], initial: Any) -> bool:
+    """Wing–Gong: search for an order of the operations that (a) respects
+    real time — an op may only be linearized before another if their
+    windows overlap or it returned first — and (b) is a legal register
+    run. Indeterminate writes (status maybe/pending) have an open-ended
+    window and may also be dropped entirely."""
+    n = len(ops)
+    returned = [op.returned if op.status == OK else _INF for op in ops]
+    required = frozenset(i for i in range(n) if ops[i].status == OK)
+
+    # Memo key: (frozenset of linearized indexes, index of last linearized
+    # write or -1). Write values are unique, so the last write IS the
+    # register state.
+    seen: set[tuple[frozenset, int]] = set()
+
+    def search(done: frozenset, last_write: int) -> bool:
+        if required <= done:
+            return True
+        state = (done, last_write)
+        if state in seen:
+            return False
+        seen.add(state)
+        remaining = [i for i in range(n) if i not in done]
+        # An op can only go next if no other remaining op returned before
+        # it was even invoked.
+        bound = min(returned[i] for i in remaining if i in required) if (
+            required - done
+        ) else _INF
+        current = initial if last_write < 0 else ops[last_write].value
+        for i in remaining:
+            op = ops[i]
+            if op.invoked > bound:
+                continue
+            if op.kind == "read":
+                if op.value != current:
+                    continue
+                if search(done | {i}, last_write):
+                    return True
+            else:
+                if search(done | {i}, i):
+                    return True
+        return False
+
+    return search(frozenset(), -1)

@@ -1,0 +1,328 @@
+"""Raft safety monitors (the tentpole's invariant layer).
+
+An :class:`InvariantSuite` attaches to every :class:`repro.raft.node.RaftNode`
+in a replicaset and observes three kinds of protocol events — leader
+elections, commit advances, snapshot adoptions — plus an end-of-run whole
+cluster sweep. Monitors never change behaviour: they record
+:class:`Violation` objects and keep going, so one run can surface every
+consequence of a bug rather than dying on the first.
+
+Invariants (the names appear in violations, bundles, and DESIGN.md):
+
+==========================  ====================================================
+ElectionSafety              at most one leader per term
+LogMatching                 same (term, index) ⇒ byte-identical entry
+LeaderCompleteness          a new leader's log holds every committed entry
+StateMachineSafety          only one entry is ever committed at each index
+QuorumIntersection          a new leader's vote quorum intersects the previous
+                            leader's FlexiRaft data quorum (so the deposed
+                            leader cannot still commit behind the ring's back)
+SnapshotMonotonicity        installing a snapshot never regresses a member's
+                            durable commit point
+==========================  ====================================================
+
+The commit *ledger* — ``index -> (term, payload crc)`` recorded the first
+time any member commits an index — is the shared evidence base:
+StateMachineSafety and committed-prefix LogMatching fall out of comparing
+each member's commit advances against it, and LeaderCompleteness replays
+it against a fresh leader's log.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import LogTruncatedError
+from repro.raft.types import OpId
+
+#: Hard cap on recorded violations: a genuinely broken protocol violates
+#: invariants on every commit, and the explorer only needs the first few
+#: to build a bundle.
+MAX_VIOLATIONS = 64
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed safety violation."""
+
+    invariant: str
+    time: float
+    node: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"[{self.time:.6f}] {self.invariant} at {self.node}: {self.detail}"
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "node": self.node,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _Election:
+    """What we saw when a node won a term."""
+
+    leader: str
+    granted: frozenset
+    membership: Any  # MembershipConfig at the moment of election
+    overridden: bool  # quorum-fixer override active (intersection waived)
+
+
+def _digest(payload: bytes) -> int:
+    return zlib.crc32(payload)
+
+
+@dataclass
+class InvariantSuite:
+    """Cluster-wide safety monitor. One instance per simulated run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: term -> winner (ElectionSafety evidence).
+    leaders: dict[int, str] = field(default_factory=dict)
+    #: Commit ledger: index -> (term, payload crc32).
+    ledger: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Per-member durable commit floor (survives crash/restart; reset only
+    #: when a member is reimaged from a wiped disk).
+    commit_floor: dict[str, int] = field(default_factory=dict)
+    checks: dict[str, int] = field(
+        default_factory=lambda: {"elections": 0, "commits": 0, "snapshots": 0}
+    )
+    _elections: dict[int, _Election] = field(default_factory=dict)
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, cluster) -> None:
+        """Monitor every current member of ``cluster`` and register on the
+        cluster so reimaged members are re-attached automatically."""
+        cluster.monitor = self
+        for service in cluster.services.values():
+            service.node.monitor = self
+
+    def reset_member(self, name: str) -> None:
+        """Forget per-member floors after a disk wipe (reimage): the fresh
+        member legitimately starts from nothing."""
+        self.commit_floor.pop(name, None)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _record(self, invariant: str, node, detail: str) -> None:
+        if len(self.violations) >= MAX_VIOLATIONS:
+            return
+        self.violations.append(
+            Violation(
+                invariant=invariant,
+                time=node.host.loop.now,
+                node=node.name,
+                detail=detail,
+            )
+        )
+
+    # -- RaftNode hooks ------------------------------------------------------
+
+    def on_leader_elected(self, node, granted: frozenset) -> None:
+        """Called from ``_become_leader`` with the vote-grant set."""
+        self.checks["elections"] += 1
+        term = node.current_term
+        prior = self.leaders.get(term)
+        if prior is not None and prior != node.name:
+            self._record(
+                "ElectionSafety",
+                node,
+                f"term {term} already has leader {prior}, now also {node.name}",
+            )
+        else:
+            self.leaders[term] = node.name
+        overridden = node._quorum_override is not None
+        self._check_leader_completeness(node)
+        self._check_quorum_intersection(node, term, granted, overridden)
+        self._elections[term] = _Election(
+            leader=node.name,
+            granted=granted,
+            membership=node.membership,
+            overridden=overridden,
+        )
+
+    def _check_leader_completeness(self, node) -> None:
+        """Every committed (index, term) must appear in the new leader's
+        log — or lie below its snapshot base, which only covers committed
+        prefixes by construction."""
+        first = node.storage.first_index()
+        for index, (term, crc) in self.ledger.items():
+            if index < first:
+                continue
+            try:
+                entry = node.storage.entry(index)
+            except LogTruncatedError:  # pragma: no cover - first_index race
+                continue
+            if entry is None:
+                self._record(
+                    "LeaderCompleteness",
+                    node,
+                    f"committed index {index} (term {term}) missing from new leader's log",
+                )
+            elif entry.opid.term != term:
+                self._record(
+                    "LeaderCompleteness",
+                    node,
+                    f"committed index {index} has term {term} but leader holds "
+                    f"term {entry.opid.term}",
+                )
+            elif _digest(entry.payload) != crc:
+                self._record(
+                    "LogMatching",
+                    node,
+                    f"leader's entry at {entry.opid} differs from the committed payload",
+                )
+
+    def _check_quorum_intersection(
+        self, node, term: int, granted: frozenset, overridden: bool
+    ) -> None:
+        """The FlexiRaft intersection argument, checked directly: take the
+        voters that did NOT grant this election. If, from the previous
+        leader's point of view (its config, its region), those voters
+        alone satisfy a data quorum, the deposed leader can still commit
+        entries no granter has heard of — the exact split-brain the
+        last-known-leader election rule exists to prevent."""
+        prior_terms = [t for t in self._elections if t < term]
+        if not prior_terms or overridden:
+            return
+        prev = self._elections[max(prior_terms)]
+        if prev.overridden:
+            return  # quorum fixer deliberately forced a non-intersecting quorum
+        prev_voters = frozenset(m.name for m in prev.membership.voters())
+        unaware = prev_voters - granted
+        if node.policy.data_quorum_satisfied(prev.leader, unaware, prev.membership):
+            self._record(
+                "QuorumIntersection",
+                node,
+                f"term {term} won with grants {sorted(granted)} but previous leader "
+                f"{prev.leader} still holds a data quorum among {sorted(unaware)}",
+            )
+
+    def on_commit_advance(self, node, old_index: int, new_index: int) -> None:
+        """Called whenever a node's commit index advances (leader quorum
+        or follower commit-pointer). Verifies the newly committed range
+        against the ledger."""
+        self.checks["commits"] += 1
+        for index in range(old_index + 1, new_index + 1):
+            try:
+                entry = node.storage.entry(index)
+            except LogTruncatedError:
+                continue  # below a snapshot base; covered by on_snapshot_adopted
+            if entry is None:
+                self._record(
+                    "LogMatching",
+                    node,
+                    f"commit index advanced to {index} beyond the log "
+                    f"(last={node.storage.last_opid()})",
+                )
+                break
+            digest = (entry.opid.term, _digest(entry.payload))
+            known = self.ledger.get(index)
+            if known is None:
+                self.ledger[index] = digest
+            elif known[0] != digest[0]:
+                self._record(
+                    "StateMachineSafety",
+                    node,
+                    f"index {index} committed at term {known[0]} elsewhere, "
+                    f"term {digest[0]} here",
+                )
+            elif known[1] != digest[1]:
+                self._record(
+                    "LogMatching",
+                    node,
+                    f"index {index} term {digest[0]} committed with two different payloads",
+                )
+        floor = self.commit_floor.get(node.name, 0)
+        if new_index > floor:
+            self.commit_floor[node.name] = new_index
+
+    def on_snapshot_adopted(self, node, opid: OpId) -> None:
+        """Called at the top of ``adopt_snapshot`` — before the node bumps
+        its commit index — so ``commit_floor`` still reflects the durable
+        state the install just replaced."""
+        self.checks["snapshots"] += 1
+        floor = self.commit_floor.get(node.name, 0)
+        if opid.index < floor:
+            self._record(
+                "SnapshotMonotonicity",
+                node,
+                f"installed image at {opid} below durable commit floor {floor}",
+            )
+        else:
+            self.commit_floor[node.name] = opid.index
+        known = self.ledger.get(opid.index)
+        if known is not None and known[0] != opid.term:
+            self._record(
+                "StateMachineSafety",
+                node,
+                f"snapshot image ends at {opid} but index {opid.index} "
+                f"committed at term {known[0]}",
+            )
+
+    # -- end-of-run sweep ----------------------------------------------------
+
+    def check_cluster(self, cluster) -> None:
+        """Whole-cluster LogMatching over live members' shared index
+        ranges (covers the uncommitted tail the per-commit checks never
+        see) plus a ledger audit of every live log."""
+        storages: list[tuple[str, Any]] = []
+        for name, service in cluster.services.items():
+            if not cluster.hosts[name].alive:
+                continue
+            storage = getattr(service, "storage", None)
+            if storage is not None and storage.last_opid().index > 0:
+                storages.append((name, service))
+        for name, service in storages:
+            node = service.node
+            first = node.storage.first_index()
+            last = node.storage.last_opid().index
+            for index, (term, crc) in self.ledger.items():
+                if index < first or index > last:
+                    continue
+                entry = node.storage.entry(index)
+                if entry is None:
+                    continue
+                if entry.opid.term == term and _digest(entry.payload) != crc:
+                    self._record(
+                        "LogMatching",
+                        node,
+                        f"entry {entry.opid} diverges from the committed payload",
+                    )
+        for i, (name_a, service_a) in enumerate(storages):
+            for name_b, service_b in storages[i + 1 :]:
+                self._check_pairwise(service_a, service_b)
+
+    def _check_pairwise(self, service_a, service_b) -> None:
+        a, b = service_a.node.storage, service_b.node.storage
+        start = max(a.first_index(), b.first_index())
+        end = min(a.last_opid().index, b.last_opid().index)
+        for index in range(start, end + 1):
+            ea, eb = a.entry(index), b.entry(index)
+            if ea is None or eb is None:
+                continue
+            if ea.opid.term == eb.opid.term and ea.payload != eb.payload:
+                self._record(
+                    "LogMatching",
+                    service_b.node,
+                    f"{service_a.node.name} and {service_b.node.name} disagree on "
+                    f"entry {ea.opid} payload",
+                )
+                return  # one pairwise sample is enough evidence
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "violations": [v.to_wire() for v in self.violations],
+            "checks": dict(self.checks),
+            "terms_seen": len(self.leaders),
+            "committed_indexes": len(self.ledger),
+        }

@@ -1,0 +1,150 @@
+"""Self-validation mutations: deliberately weakened safety rules.
+
+A model checker that never fires is indistinguishable from one that
+cannot fire. ``python -m repro.check --mutate <name>`` re-runs the
+explorer with one protocol safety rule weakened; the harness passes its
+self-test only if the monitors detect the injected unsafety and the
+shrinker reduces the triggering fault schedule.
+
+Each mutation monkeypatches one protocol decision point inside a context
+manager (always restored), leaving every monitor untouched — the
+monitors must catch the symptom, not the patch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One weakened safety rule."""
+
+    name: str
+    description: str
+    #: Applies the patch; returns the undo callable.
+    apply: Callable[[], Callable[[], None]]
+
+
+def _election_own_region_only() -> Callable[[], None]:
+    """SINGLE_REGION_DYNAMIC elections need only the candidate's own
+    region: last-leader intersection, voting history, and the
+    no-knowledge pessimistic fallback are all ignored. This is the
+    stale-quorum-knowledge bug class the harness caught in this repo —
+    a candidate wins disjointly from the previous leader's data quorum
+    and overwrites its committed tail → StateMachineSafety /
+    LeaderCompleteness / QuorumIntersection.
+
+    (An earlier commit-without-quorum mutation proved undetectable once
+    the election path was hardened: any single acker of a premature
+    commit sits inside every future election's required region majority
+    and crashed logs are durable, so the weakening cannot surface as
+    loss outside a sub-millisecond append-vs-crash race.)"""
+    from repro.flexiraft.groups import group_majority, region_groups
+    from repro.flexiraft.policy import FlexiMode, FlexiRaftPolicy
+
+    original = FlexiRaftPolicy.election_quorum_satisfied
+
+    def mutated(self, granted, config, context):
+        if self.mode != FlexiMode.SINGLE_REGION_DYNAMIC:
+            return original(self, granted, config, context)
+        groups = region_groups(config)
+        candidate = config.member(context.candidate)
+        if not groups or candidate is None or not candidate.is_voter:
+            return False
+        return group_majority(groups.get(candidate.region, []), granted)
+
+    FlexiRaftPolicy.election_quorum_satisfied = mutated
+
+    def undo() -> None:
+        FlexiRaftPolicy.election_quorum_satisfied = original
+
+    return undo
+
+
+def _vote_ignores_log_recency() -> Callable[[], None]:
+    """Voters grant to candidates whose log is behind theirs. A stale
+    candidate can then win and overwrite committed entries →
+    LeaderCompleteness at election time."""
+    from repro.raft.node import RaftNode
+
+    original = RaftNode._evaluate_vote
+
+    def mutated(self, req):
+        granted, reason = original(self, req)
+        if not granted and reason == "log behind":
+            return True, "ok"
+        return granted, reason
+
+    RaftNode._evaluate_vote = mutated
+
+    def undo() -> None:
+        RaftNode._evaluate_vote = original
+
+    return undo
+
+
+def _double_vote() -> Callable[[], None]:
+    """Voters forget who they voted for: two candidates can both collect
+    the same grant in one term → ElectionSafety."""
+    from repro.raft.node import RaftNode
+
+    original = RaftNode._evaluate_vote
+
+    def mutated(self, req):
+        granted, reason = original(self, req)
+        if not granted and reason.startswith("voted for"):
+            return True, "ok"
+        return granted, reason
+
+    RaftNode._evaluate_vote = mutated
+
+    def undo() -> None:
+        RaftNode._evaluate_vote = original
+
+    return undo
+
+
+MUTATIONS: dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation(
+            "election-own-region-only",
+            "elections ignore last-leader region and voting history",
+            _election_own_region_only,
+        ),
+        Mutation(
+            "vote-ignores-log-recency",
+            "voters grant to candidates with stale logs",
+            _vote_ignores_log_recency,
+        ),
+        Mutation(
+            "double-vote",
+            "voters forget their vote and grant twice per term",
+            _double_vote,
+        ),
+    )
+}
+
+
+@contextmanager
+def apply_mutation(name: str | None):
+    """Apply mutation ``name`` for the duration of the block (no-op when
+    ``name`` is None)."""
+    if name is None:
+        yield
+        return
+    mutation = MUTATIONS.get(name)
+    if mutation is None:
+        raise ReproError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        )
+    undo = mutation.apply()
+    try:
+        yield
+    finally:
+        undo()

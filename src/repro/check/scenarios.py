@@ -1,0 +1,158 @@
+"""The explorer's scenario matrix: topology × workload × fault pattern.
+
+Each :class:`Scenario` is a fully parameterized, seed-deterministic run
+recipe: it builds the cluster topology, the closed-loop workload (with a
+read fraction so the linearizability checker has reads to falsify), and
+the fault pattern. Fault patterns come in two flavours:
+
+- *reactive* — a :class:`~repro.workload.faults.RandomFaultInjector`
+  (leader-biased crash loops, pause storms). The injector records every
+  fault it fires, so a failing run still yields a scripted schedule for
+  delta-debugging.
+- *scripted* — a :class:`~repro.workload.faults.FaultSchedule` generated
+  up front from the seed (region partitions), which ddmin can subset
+  directly.
+
+Scenario durations are short on purpose: the explorer's power comes from
+seed count, not from any single long run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ReplicaSetSpec, paper_topology
+from repro.sim.network import LogNormalLatency
+from repro.workload.faults import FaultEvent, FaultSchedule, RandomFaultInjector
+from repro.workload.generators import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One run recipe for the seed explorer."""
+
+    name: str
+    description: str
+    # Topology: paper-shaped, 1 db + 2 logtailers per region.
+    follower_regions: int = 2
+    learners: int = 0
+    # Run shape.
+    duration: float = 22.0
+    settle: float = 6.0  # fault-free tail so the ring converges
+    # Workload.
+    clients: int = 2
+    think_time: float = 0.08
+    key_space: int = 8
+    read_fraction: float = 0.3
+    # Fault pattern: "random" | "leader_crash_loop" | "region_partitions"
+    # | "pause_storm".
+    faults: str = "random"
+    mean_interval: float = 5.0
+    downtime: float = 2.0
+    pause_probability: float = 0.0
+    crash_leader_bias: float = 0.5
+
+    def topology(self) -> ReplicaSetSpec:
+        return paper_topology(
+            follower_regions=self.follower_regions, learners=self.learners
+        )
+
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=f"check-{self.name}",
+            clients=self.clients,
+            think_time=self.think_time,
+            client_latency=LogNormalLatency(2e-3, 0.2, floor=1e-3),
+            key_space=self.key_space,
+            read_fraction=self.read_fraction,
+        )
+
+    def make_faults(self, cluster, rng):
+        """Build this scenario's fault source against ``cluster``.
+        Returns ``(injector | None, schedule | None)`` — exactly one is
+        set."""
+        if self.faults == "region_partitions":
+            return None, self._partition_schedule(cluster, rng)
+        if self.faults == "leader_crash_loop":
+            injector = RandomFaultInjector(
+                cluster,
+                rng,
+                mean_interval=self.mean_interval,
+                downtime=self.downtime,
+                crash_leader_bias=0.95,
+            )
+        elif self.faults == "pause_storm":
+            injector = RandomFaultInjector(
+                cluster,
+                rng,
+                mean_interval=self.mean_interval,
+                downtime=self.downtime,
+                crash_leader_bias=self.crash_leader_bias,
+                pause_probability=0.9,
+            )
+        else:  # "random"
+            injector = RandomFaultInjector(
+                cluster,
+                rng,
+                mean_interval=self.mean_interval,
+                downtime=self.downtime,
+                crash_leader_bias=self.crash_leader_bias,
+                pause_probability=self.pause_probability,
+            )
+        return injector, None
+
+    def _partition_schedule(self, cluster, rng) -> FaultSchedule:
+        """A seed-deterministic scripted schedule of region partitions
+        (always including pairs touching the primary's region0) with
+        matching heals."""
+        regions = sorted({m.region for m in cluster.membership.members})
+        events: list[FaultEvent] = []
+        now = cluster.loop.now
+        t = now
+        while True:
+            t += rng.expovariate(1.0 / self.mean_interval)
+            if t >= now + self.duration:
+                break
+            i = rng.randint(0, len(regions) - 1)
+            j = rng.randint(0, len(regions) - 2)
+            if j >= i:
+                j += 1
+            events.append(FaultEvent(t, "partition_regions", regions[i], regions[j]))
+            events.append(
+                FaultEvent(t + self.downtime, "heal_regions", regions[i], regions[j])
+            )
+        return FaultSchedule(events)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="crashes",
+            description="random crash/restart churn, mildly leader-biased",
+            faults="random",
+            crash_leader_bias=0.5,
+        ),
+        Scenario(
+            name="leader-crash-loop",
+            description="the primary is crash-looped almost exclusively",
+            faults="leader_crash_loop",
+            mean_interval=4.0,
+            downtime=1.5,
+        ),
+        Scenario(
+            name="region-partitions",
+            description="scripted cross-region partitions (paper 3-region shape)",
+            faults="region_partitions",
+            mean_interval=6.0,
+            downtime=3.0,
+        ),
+        Scenario(
+            name="pause-storm",
+            description="stop-the-world pauses: stale leaders, resumed pasts",
+            faults="pause_storm",
+            mean_interval=4.0,
+            downtime=2.0,
+        ),
+    )
+}

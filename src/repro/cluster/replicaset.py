@@ -65,6 +65,10 @@ class MyRaftReplicaset:
         self.timing = timing or myraft_profile()
         router = router_for(self.raft_config)
 
+        # Safety monitor (repro.check.InvariantSuite.attach installs one);
+        # reimage_member re-attaches it to freshly built services.
+        self.monitor: Any | None = None
+
         self.hosts: dict[str, Host] = {}
         self.services: dict[str, Any] = {}
         for member in self.membership.members:
@@ -216,6 +220,9 @@ class MyRaftReplicaset:
             )
         host.replace_service(service)
         self.services[name] = service
+        if self.monitor is not None:
+            self.monitor.reset_member(name)
+            service.node.monitor = self.monitor
         return service
 
     # -- operations -------------------------------------------------------------------

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.check.invariants import InvariantSuite
 from repro.errors import ControlPlaneError
 from repro.workload.faults import RandomFaultInjector
 from repro.workload.generators import WorkloadSpec
@@ -33,6 +34,7 @@ class ShadowReport:
     downtime_windows: list = field(default_factory=list)
     databases_converged: bool = False
     logs_prefix_equal: bool = False
+    invariant_violations: list = field(default_factory=list)
     checks_passed: bool = False
 
     def total_downtime(self) -> float:
@@ -46,6 +48,11 @@ class ShadowTestHarness:
         self.cluster = cluster
         self.workload = workload
         self.rng = cluster.rng.child(seed_label)
+        # Every shadow test runs under the repro.check safety monitors:
+        # the §5.1 checksum checks catch divergence after the fact, the
+        # monitors catch the protocol step that caused it.
+        self.invariants = InvariantSuite()
+        self.invariants.attach(cluster)
 
     # -- §5.1 checks -----------------------------------------------------------
 
@@ -59,7 +66,15 @@ class ShadowTestHarness:
         self.cluster.run(settle)
         report.databases_converged = self.cluster.databases_converged()
         report.logs_prefix_equal = self.cluster.logs_prefix_equal()
-        report.checks_passed = report.databases_converged and report.logs_prefix_equal
+        self.invariants.check_cluster(self.cluster)
+        report.invariant_violations = [
+            v.to_wire() for v in self.invariants.violations
+        ]
+        report.checks_passed = (
+            report.databases_converged
+            and report.logs_prefix_equal
+            and not report.invariant_violations
+        )
 
     # -- failure-injection testing ------------------------------------------------
 

@@ -17,10 +17,14 @@ Modes:
   majorities-of-majorities always intersect). This is the
   consistency-over-latency configuration the paper offers applications.
 
-Candidates improve their leader knowledge from vote responses (voters
-piggyback their own last-known-leader), our rendition of FlexiRaft's
-voting-history tracking. The TLA+-verified original is more permissive;
-ours errs pessimistic, which preserves safety.
+Candidates improve their leader knowledge from vote responses: voters
+piggyback their own last-known-leader *and* their retained voting
+history — the regions of candidates they granted real votes to at terms
+newer than that leader. Any of those candidates might have won and
+committed entries before anyone heard from it, so the election quorum
+must intersect each one's potential data quorum. The TLA+-verified
+original is more permissive; ours errs pessimistic, which preserves
+safety.
 """
 
 from __future__ import annotations
@@ -85,6 +89,17 @@ class FlexiRaftPolicy(QuorumPolicy):
             # require a majority from every region (the pessimistic case
             # the paper motivates single-region-dynamic against).
             required_regions = set(groups)
+        # Voting history: a candidate granted a real vote at a term newer
+        # than the last known leader may have *won* that election and
+        # committed through its own region's data quorum before anyone
+        # heard from it. Intersect every such region too; a region we
+        # cannot map to a current group means the winner's data quorum is
+        # unknowable, so fall back to the pessimistic all-regions quorum.
+        possible = set(context.possible_leader_regions)
+        if possible - set(groups):
+            required_regions = set(groups)
+        else:
+            required_regions |= possible
         return all(
             group_majority(groups[region], granted)
             for region in required_regions

@@ -56,6 +56,12 @@ class Applier:
         self.running = False
         self._wakeup: SimFuture | None = None
         self._process = None
+        # Engine transaction currently being built inside _execute. Owned
+        # by the applier only until it is wrapped in a PipelineTxn (the
+        # pipeline's abort_fn rolls it back from then on); stop() must
+        # roll it back or a later incarnation replaying the same GTID
+        # collides with the leaked xid ("xid already active").
+        self._building = None
         self._catchup_waiters: list[tuple[int, SimFuture]] = []
         self.applied = 0
         self.skipped_duplicates = 0
@@ -78,6 +84,9 @@ class Applier:
         if self._process is not None:
             self._process.kill()
             self._process = None
+        if self._building is not None:
+            self.engine.rollback(self._building)
+            self._building = None
 
     def signal(self) -> None:
         """New relay-log entries are available (called by the plugin)."""
@@ -141,6 +150,7 @@ class Applier:
             self.skipped_duplicates += 1
             return None
         engine_txn = self.engine.begin(self._applier_xid(gtid_event))
+        self._building = engine_txn
         engine_txn.gtid = gtid
         engine_txn.opid = gtid_event.opid
         table_names: dict[int, str] = {}
@@ -158,6 +168,9 @@ class Applier:
                 break
         self.engine.prepare(engine_txn)
         self.applied += 1
+        # No yield between here and pipeline.submit in _run, so ownership
+        # transfers to the pipeline atomically (a kill cannot interpose).
+        self._building = None
         return PipelineTxn(
             payload=txn,
             engine_txn=engine_txn,

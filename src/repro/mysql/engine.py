@@ -48,17 +48,23 @@ class LockTable:
         return False
 
     def release_all(self, xid: int) -> None:
-        """Release every lock held by ``xid``; grants pass FIFO to waiters."""
+        """Release every lock held by ``xid``; grants pass FIFO to waiters.
+        Stale waits queued by ``xid`` itself (a duplicate enqueue that was
+        already satisfied by an earlier grant) are discarded — the lock is
+        never handed back to the transaction releasing it."""
         owned = [key for key, owner in self._owners.items() if owner == xid]
         for key in owned:
             del self._owners[key]
-            queue = self._waiters.get(key)
-            if queue:
+            queue = self._waiters.get(key, [])
+            while queue:
                 next_xid, grant = queue.pop(0)
-                if not queue:
-                    del self._waiters[key]
+                if next_xid == xid:
+                    continue
                 self._owners[key] = next_xid
                 grant()
+                break
+            if not queue:
+                self._waiters.pop(key, None)
 
     def abandon_waits(self, xid: int) -> None:
         """Drop any queued waits for ``xid`` (transaction aborted while

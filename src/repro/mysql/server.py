@@ -73,6 +73,7 @@ class MySQLServer:
         self._table_ids: dict[str, int] = {}
         self.writes_accepted = 0
         self.writes_rejected = 0
+        self.reads_served = 0
 
     # -- wiring (done by the replication driver) --------------------------------
 
@@ -149,6 +150,24 @@ class MySQLServer:
             raise
         self.writes_accepted += 1
         return opid
+
+    def client_read(self, table: str, pk):
+        """Coroutine: linearizable read of one row; returns
+        ``(opid, row | None)``.
+
+        Implemented as a read barrier: an *empty* marker transaction is
+        pushed through the normal commit pipeline. The pipeline commits
+        groups in FIFO order and only resolves the marker after its group
+        engine-commits, so when the marker returns (a) this server was
+        still the consensus leader at the marker's commit point and (b)
+        every transaction committed before the marker is already applied
+        to the local engine. Reading the row after that is linearizable:
+        the read takes effect at the marker's commit instant.
+        """
+        opid = yield from self.client_write(table, {})
+        self.reads_served += 1
+        row = self.engine.table(table).get(pk)
+        return opid, (dict(row) if row is not None else None)
 
     def _acquire_locks(self, engine_txn, table: str, rows: dict):
         for pk in rows:

@@ -409,6 +409,13 @@ class MyRaftServer:
             self.mysql.client_write(table, rows), label=f"{self.host.name}:write"
         )
 
+    def submit_read(self, table: str, pk):
+        """Run one linearizable read (commit-pipeline read barrier);
+        returns a Process resolving to ``(opid, row | None)``."""
+        return self.host.spawn(
+            self.mysql.client_read(table, pk), label=f"{self.host.name}:read"
+        )
+
     def flush_binary_logs(self):
         """FLUSH BINARY LOGS (§A.1): replicate a rotate through Raft."""
         if not self.node.is_leader:

@@ -188,10 +188,10 @@ class RequestVoteRequest:
 class RequestVoteResponse:
     """Voter → candidate.
 
-    Voters piggyback their newest leader knowledge (term + region) so a
-    FlexiRaft candidate can upgrade its required election quorum if its
-    own last-known-leader information is stale — our rendition of the
-    voting-history mechanism (§4.1).
+    Voters piggyback their newest leader knowledge (term + region) plus
+    their retained voting history so a FlexiRaft candidate can upgrade
+    its required election quorum when its own last-known-leader
+    information is stale — the voting-history mechanism (§4.1).
     """
 
     term: int
@@ -202,6 +202,29 @@ class RequestVoteResponse:
     reason: str = ""
     last_leader_term: int = 0
     last_leader_region: str | None = None
+    # (term, region) pairs for every real vote this voter granted at terms
+    # newer than its last-known leader — the candidates that *might* have
+    # won elections the voter never heard the outcome of. The candidate
+    # must intersect each such region's data quorum (§4.1 voting history).
+    vote_history: tuple = ()
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class VoteRetraction:
+    """Failed candidate → its grantors: forget my candidacy at ``term``.
+
+    Once a candidate abandons an election (vote timeout, or a step-down
+    while still a candidate) it discards its tally and can never win
+    that term, so grantors may safely drop the (term, region) entry from
+    their voting history — without this, a real vote granted toward an
+    unreachable region would force every later election to intersect
+    that region until it heals. ``voted_for`` itself is NOT cleared: the
+    one-vote-per-term rule still stands."""
+
+    term: int
+    candidate: str
 
     wire_size: int = RPC_HEADER_BYTES
 

@@ -49,6 +49,7 @@ from repro.raft.messages import (
     RequestVoteRequest,
     RequestVoteResponse,
     TimeoutNowRequest,
+    VoteRetraction,
 )
 from repro.raft.quorum import ElectionContext, QuorumPolicy
 from repro.raft.replication import LeaderState, VoteTally
@@ -91,6 +92,11 @@ class RaftNode:
         durable.setdefault("current_term", 0)
         durable.setdefault("voted_for", (0, None))  # (term, candidate)
         durable.setdefault("last_leader", (0, None, None))  # (term, name, region)
+        # (term, region) pairs: real votes granted at terms newer than the
+        # last known leader (§4.1 voting history). Durable for the same
+        # reason voted_for is — a restarted voter must still remember whom
+        # it may have helped elect. Pruned as leader knowledge advances.
+        durable.setdefault("vote_history", ())
         durable.setdefault("bootstrap_members", membership.to_wire())
         durable.setdefault("bootstrap_config_index", 0)
         self._durable = durable
@@ -104,6 +110,11 @@ class RaftNode:
         # Snapshot machinery (attached by repro.snapshot.SnapshotManager;
         # None for pure-protocol rings without state transfer).
         self.snapshots: Any | None = None
+
+        # Safety monitor (attached by repro.check.InvariantSuite; None in
+        # ordinary runs). Observes elections, commit advances, and
+        # snapshot adoptions; never changes behaviour.
+        self.monitor: Any | None = None
 
         # Volatile — rebuilt by _init_volatile on every (re)start.
         self._init_volatile()
@@ -182,6 +193,18 @@ class RaftNode:
 
     def _record_vote(self, term: int, candidate: str) -> None:
         self._durable["voted_for"] = (term, candidate)
+        member = self.membership.member(candidate)
+        # An unmappable candidate region is kept as "?" — the quorum
+        # policy treats it as "winner's data quorum unknowable" and goes
+        # pessimistic rather than silently ignoring it.
+        region = member.region if member is not None else "?"
+        history = dict(self._durable["vote_history"])
+        history[term] = region
+        self._durable["vote_history"] = tuple(sorted(history.items()))
+
+    @property
+    def vote_history(self) -> tuple:
+        return self._durable["vote_history"]
 
     @property
     def last_known_leader_region(self) -> str | None:
@@ -196,6 +219,14 @@ class RaftNode:
             member = self.membership.member(name)
             region = member.region if member else None
             self._durable["last_leader"] = (term, name, region)
+            # Elected leaders subsume older vote history: a term-T winner's
+            # log already covers anything committed at terms <= T, and
+            # future elections intersect *its* region to inherit that.
+            retained = tuple(
+                (t, r) for t, r in self._durable["vote_history"] if t > term
+            )
+            if retained != self._durable["vote_history"]:
+                self._durable["vote_history"] = retained
 
     # -- derived ------------------------------------------------------------------
 
@@ -364,8 +395,37 @@ class RaftNode:
             # inflating terms.
             self._trace("raft.election_stalled")
             self.role = RaftRole.FOLLOWER
-            self._vote_tally = None
+            self._retract_candidacy(term)
             self._reset_election_timer()
+
+    def _retract_candidacy(self, term: int) -> None:
+        """Tell grantors to drop this abandoned candidacy from their
+        voting histories. Discarding the tally makes winning ``term``
+        impossible, so the retraction is safe; it restores liveness that
+        durable histories would otherwise hold hostage to this node's
+        region. Best-effort — an undelivered retraction just leaves the
+        pessimistic (safe) requirement in place."""
+        tally, self._vote_tally = self._vote_tally, None
+        if tally is None or tally.term != term:
+            return
+        retraction = VoteRetraction(term=term, candidate=self.name)
+        for voter in tally.granted:
+            if voter != self.name:
+                self.host.send(voter, retraction)
+        # Our own self-vote is retracted locally the same way.
+        self._drop_vote_history(term, self.name)
+
+    def _drop_vote_history(self, term: int, candidate: str) -> None:
+        if self._voted_for(term) != candidate:
+            return
+        retained = tuple(
+            (t, r) for t, r in self._durable["vote_history"] if t != term
+        )
+        if retained != self._durable["vote_history"]:
+            self._durable["vote_history"] = retained
+
+    def _handle_vote_retraction(self, src: str, msg: VoteRetraction) -> None:
+        self._drop_vote_history(msg.term, msg.candidate)
 
     def _broadcast_to_voters(self, message: Any) -> None:
         for member in self.membership.voters():
@@ -373,10 +433,26 @@ class RaftNode:
                 self.host.send(member.name, message)
 
     def _election_context(self, tally: VoteTally) -> ElectionContext:
+        best_term = tally.best_leader_term
         best_region = tally.best_leader_region
-        if tally.best_leader_term < self.last_known_leader_term:
+        if best_term < self.last_known_leader_term:
+            best_term = self.last_known_leader_term
             best_region = self.last_known_leader_region
-        return ElectionContext(candidate=self.name, last_leader_region=best_region)
+        # Regions that may hide an unheard-of winner: every real vote —
+        # ours or one reported by a responder — granted at a term newer
+        # than the best leader anyone in the tally knows about.
+        possible = set()
+        for term, region in self.vote_history:
+            if term > best_term:
+                possible.add(region)
+        for term, regions in tally.history.items():
+            if term > best_term:
+                possible.update(regions)
+        return ElectionContext(
+            candidate=self.name,
+            last_leader_region=best_region,
+            possible_leader_regions=frozenset(possible),
+        )
 
     def _check_pre_vote_quorum(self) -> None:
         tally = self._pre_vote_tally
@@ -408,6 +484,13 @@ class RaftNode:
             return
         granted, reason = self._evaluate_vote(req)
         if granted and not req.is_pre_vote:
+            # A granted real vote is remembered durably (voting history):
+            # this candidate might win without this voter ever hearing the
+            # outcome, so until newer leader knowledge arrives, every
+            # later election this voter participates in must intersect
+            # the candidate's region. Grants are deliberately NOT treated
+            # as leader knowledge itself — a failed candidacy must not
+            # displace the real last-known leader.
             self._record_vote(req.term, req.candidate)
             self._last_leader_contact = self.host.loop.now
             self._reset_election_timer()
@@ -428,6 +511,7 @@ class RaftNode:
                 reason=reason,
                 last_leader_term=self.last_known_leader_term,
                 last_leader_region=self.last_known_leader_region,
+                vote_history=self.vote_history,
             ),
         )
 
@@ -467,21 +551,40 @@ class RaftNode:
         if resp.is_pre_vote:
             tally = self._pre_vote_tally
             if tally is not None:
-                tally.record(resp.voter, resp.granted)
-                tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+                self._absorb_vote_knowledge(tally, resp)
                 self._check_pre_vote_quorum()
             return
         tally = self._vote_tally
         if tally is None or resp.term != self.current_term:
             return
-        tally.record(resp.voter, resp.granted)
-        tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+        self._absorb_vote_knowledge(tally, resp)
         self._check_vote_quorum()
+
+    @staticmethod
+    def _absorb_vote_knowledge(tally: VoteTally, resp: RequestVoteResponse) -> None:
+        """Fold one vote response into the tally's FlexiRaft knowledge.
+
+        Leader knowledge *relaxes* the required quorum (newer leader ⇒
+        older history pruned, intersection region switched), so it is
+        only taken from voters that granted — a grantor's leader
+        knowledge is backed by its log, which the up-to-date check then
+        chains into the candidate's. A denier's knowledge carries no such
+        log guarantee and must not relax anything. Vote history only
+        *tightens* the quorum, so it is welcome from every response.
+        """
+        tally.record(resp.voter, resp.granted)
+        if resp.granted:
+            tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+        tally.learn_history(resp.vote_history)
 
     # -- role transitions -----------------------------------------------------------
 
     def _become_leader(self) -> None:
         self.metrics["elections_won"] += 1
+        tally = self._vote_tally
+        granted = (
+            frozenset(tally.granted) if tally is not None else frozenset({self.name})
+        )
         self.role = RaftRole.LEADER
         self.leader_id = self.name
         self._vote_tally = None
@@ -496,6 +599,8 @@ class RaftNode:
             self.last_opid.index,
             self.host.loop.now,
         )
+        if self.monitor is not None:
+            self.monitor.on_leader_elected(self, granted)
         # §3.3 step 1: assert leadership with a no-op entry; committing it
         # consensus-commits the whole log tail.
         noop_opid = self._append_as_leader(
@@ -551,13 +656,13 @@ class RaftNode:
 
     def _step_down(self, term: int, leader: str | None) -> None:
         was_leader = self.role == RaftRole.LEADER
+        if self.role == RaftRole.CANDIDATE:
+            self._retract_candidacy(self.current_term)
         if term > self.current_term:
             self._set_term(term)
         self.role = RaftRole.FOLLOWER if self._is_voter else RaftRole.LEARNER
         self._become_follower_bookkeeping_only()
         self.leader_id = leader
-        if leader is not None:
-            self._learn_leader(term, leader)
         if was_leader:
             self._trace("raft.stepped_down", new_leader=leader)
             self._fail_pending_proposals(NotLeaderError(f"{self.name} lost leadership"))
@@ -995,15 +1100,26 @@ class RaftNode:
                 if term > self.current_term:
                     self._set_term(term)
                 self.leader_id = leader
-                self._learn_leader(term, leader)
             else:
                 self._step_down(term, leader=leader)
         else:
             self.leader_id = leader
-            self._learn_leader(term, leader)
         self._last_leader_contact = self.host.loop.now
         self._reset_election_timer()
         return True
+
+    def _maybe_adopt_leader_knowledge(self, term: int, leader: str) -> None:
+        """Durable last-leader knowledge — and the vote-history pruning
+        and required-region switch it triggers — only advances once this
+        node's log provably shares the leader's committed prefix: it must
+        hold an entry of the leader's own term. Log matching then
+        guarantees it carries everything committed before that term.
+        Adopting on first contact would swap the election-intersection
+        region to the new leader's before this voter covers the old
+        region's commits, reopening the lost-committed-tail window the
+        voting history exists to close."""
+        if self.last_opid.term >= term:
+            self._learn_leader(term, leader)
 
     def _handle_append_entries(self, src: str, request: AppendEntriesRequest) -> None:
         if request.final_dest and request.final_dest != self.name:
@@ -1033,6 +1149,7 @@ class RaftNode:
             return
 
         appended = self._append_from_leader(prev, list(request.entries))
+        self._maybe_adopt_leader_knowledge(request.term, request.leader)
         ack_index = prev.index + len(request.entries)
         total_bytes = sum(e.size_bytes for e in request.entries)
         self._advance_follower_commit(min(request.commit_opid.index, ack_index))
@@ -1073,7 +1190,10 @@ class RaftNode:
 
     def _advance_follower_commit(self, index: int) -> None:
         if index > self.commit_index:
+            old_index = self.commit_index
             self.commit_index = index
+            if self.monitor is not None:
+                self.monitor.on_commit_advance(self, old_index, index)
             self.hooks.on_commit_advance(self.commit_opid)
 
     def _respond_append(
@@ -1137,8 +1257,11 @@ class RaftNode:
             lambda index: self._term_at(index),
         )
         if new_commit > self.commit_index:
+            old_index = self.commit_index
             self.commit_index = new_commit
             self._trace("raft.commit_advance", index=new_commit)
+            if self.monitor is not None:
+                self.monitor.on_commit_advance(self, old_index, new_commit)
             self.hooks.on_commit_advance(self.commit_opid)
             self._resolve_proposals(new_commit)
 
@@ -1220,6 +1343,10 @@ class RaftNode:
         bootstrap config — the log no longer reaches back to a CONFIG
         entry, so ``_rebuild_membership`` must fall through to it.
         """
+        if self.monitor is not None:
+            # Before the commit bump below, so the monitor can compare the
+            # image against the durable floor the install just replaced.
+            self.monitor.on_snapshot_adopted(self, opid)
         if members_wire:
             self._durable["bootstrap_members"] = tuple(members_wire)
             self._durable["bootstrap_config_index"] = config_index
@@ -1369,14 +1496,16 @@ class RaftNode:
                 reason=reason,
                 last_leader_term=self.last_known_leader_term,
                 last_leader_region=self.last_known_leader_region,
+                vote_history=self.vote_history,
             ),
         )
 
     def _handle_mock_vote_response(self, src: str, resp: RequestVoteResponse) -> None:
         if self._mock_tally is None:
             return
-        self._mock_tally.record(resp.voter, resp.granted)
-        self._mock_tally.learn_leader(resp.last_leader_term, resp.last_leader_region)
+        # Same knowledge rules as a real tally, so the mock verdict
+        # predicts what the target's real election would conclude.
+        self._absorb_vote_knowledge(self._mock_tally, resp)
         self._check_mock_quorum()
 
     def _check_mock_quorum(self) -> None:
@@ -1506,6 +1635,8 @@ class RaftNode:
             self._handle_request_vote(src, message)
         elif isinstance(message, RequestVoteResponse):
             self._handle_vote_response(src, message)
+        elif isinstance(message, VoteRetraction):
+            self._handle_vote_retraction(src, message)
         elif isinstance(message, TimeoutNowRequest):
             self._handle_timeout_now(src, message)
         elif isinstance(message, MockElectionRequest):

@@ -24,10 +24,16 @@ class ElectionContext:
     candidate has learned of (own history, upgraded by information
     piggybacked on vote responses); None means unknown, which forces
     pessimistic quorums in FlexiRaft.
+
+    ``possible_leader_regions`` are the regions of candidates that were
+    granted real votes at terms *newer* than that last-known leader —
+    any of them might have won an election nobody in this tally heard
+    the outcome of, so their data quorums must also be intersected.
     """
 
     candidate: str
     last_leader_region: str | None = None
+    possible_leader_regions: frozenset = frozenset()
 
 
 class QuorumPolicy(ABC):

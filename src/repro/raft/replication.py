@@ -150,6 +150,10 @@ class VoteTally:
     # Best leader knowledge gathered from responses (FlexiRaft history).
     best_leader_term: int = 0
     best_leader_region: str | None = None
+    # Vote-history knowledge from responses: term -> regions of candidates
+    # some voter granted a real vote to at that term. Different voters may
+    # back different candidates in one term, hence a set per term.
+    history: dict = field(default_factory=dict)
 
     def record(self, voter: str, was_granted: bool) -> None:
         if was_granted:
@@ -162,3 +166,7 @@ class VoteTally:
         if region is not None and term > self.best_leader_term:
             self.best_leader_term = term
             self.best_leader_region = region
+
+    def learn_history(self, pairs) -> None:
+        for term, region in pairs:
+            self.history.setdefault(term, set()).add(region)

@@ -221,9 +221,14 @@ class Process(SimFuture):
     ``liveness`` (optional) is checked before each resume; if it returns
     False the process is killed silently — this is how host crashes stop
     in-flight pipelines without unwinding through every frame.
+
+    ``gate`` (optional) is consulted before each resume: returning a
+    :class:`SimFuture` defers the resume until that future completes
+    (then re-checks), returning None lets the resume proceed. This is how
+    a paused host freezes its coroutines mid-flight without killing them.
     """
 
-    __slots__ = ("_gen", "_liveness", "_killed")
+    __slots__ = ("_gen", "_liveness", "_gate", "_killed")
 
     def __init__(
         self,
@@ -231,10 +236,12 @@ class Process(SimFuture):
         gen: Generator[Any, Any, Any],
         label: str = "",
         liveness: Callable[[], bool] | None = None,
+        gate: Callable[[], "SimFuture | None"] | None = None,
     ) -> None:
         super().__init__(loop, label=label or getattr(gen, "__name__", "process"))
         self._gen = gen
         self._liveness = liveness
+        self._gate = gate
         self._killed = False
         loop.call_soon(self._advance, None, None)
 
@@ -253,6 +260,11 @@ class Process(SimFuture):
         if self._liveness is not None and not self._liveness():
             self.kill()
             return
+        if self._gate is not None:
+            barrier = self._gate()
+            if barrier is not None:
+                barrier.add_done_callback(lambda _b: self._advance(value, exc))
+                return
         try:
             if exc is not None:
                 yielded = self._gen.throw(exc)
@@ -288,6 +300,7 @@ def spawn(
     gen: Generator[Any, Any, Any],
     label: str = "",
     liveness: Callable[[], bool] | None = None,
+    gate: Callable[[], "SimFuture | None"] | None = None,
 ) -> Process:
     """Start ``gen`` as a coroutine on ``loop``."""
-    return Process(loop, gen, label=label, liveness=liveness)
+    return Process(loop, gen, label=label, liveness=liveness, gate=gate)

@@ -73,6 +73,9 @@ class Host:
         self.service: Any = None
         self._timers: list[Timer] = []
         self._processes: list[Process] = []
+        self.paused = False
+        self._pause_barrier: SimFuture | None = None
+        self._paused_inbox: list[tuple[str, Any]] = []
         network.register(self)
 
     # -- service wiring ----------------------------------------------------
@@ -88,6 +91,11 @@ class Host:
 
     def receive(self, src: str, message: Any) -> None:
         if not self.alive or self.service is None:
+            return
+        if self.paused:
+            # Stop-the-world stall: the kernel keeps buffering packets
+            # while every thread is frozen; they drain at resume.
+            self._paused_inbox.append((src, message))
             return
         self.service.handle_message(src, message)
 
@@ -106,8 +114,15 @@ class Host:
         incarnation = self.incarnation
 
         def guarded() -> None:
-            if self.alive and self.incarnation == incarnation:
-                callback(*args)
+            if not (self.alive and self.incarnation == incarnation):
+                return
+            if self.paused:
+                # Frozen host: the timer "fired" but no thread runs it
+                # until resume (it re-checks liveness then).
+                assert self._pause_barrier is not None
+                self._pause_barrier.add_done_callback(lambda _b: guarded())
+                return
+            callback(*args)
 
         timer = self.loop.call_after(delay, guarded)
         self._timers.append(timer)
@@ -125,6 +140,7 @@ class Host:
             gen,
             label=label or f"{self.name}:process",
             liveness=lambda: self.alive and self.incarnation == incarnation,
+            gate=lambda: self._pause_barrier,
         )
         self._processes.append(process)
         if len(self._processes) > 256:
@@ -136,12 +152,59 @@ class Host:
 
     # -- crash/restart -----------------------------------------------------
 
+    # -- pause/resume (stop-the-world stall) --------------------------------
+
+    def pause(self) -> None:
+        """Freeze the host: timers, coroutines, and message handling all
+        stall; nothing is lost. Models a stop-the-world event (GC pause,
+        VM migration, SIGSTOP) — the process keeps its volatile state and
+        still *believes* whatever it believed, which is exactly the
+        stale-leader hazard window lease-less protocols must survive."""
+        if not self.alive or self.paused:
+            return
+        self.paused = True
+        self._pause_barrier = SimFuture(self.loop, label=f"{self.name}:pause")
+        if self.tracer is not None:
+            self.tracer.emit("host.pause", host=self.name)
+
+    def resume(self) -> None:
+        """Thaw a paused host: deferred timers re-arm and the buffered
+        inbox drains, in arrival order, as if the world never stopped."""
+        if not self.alive or not self.paused:
+            return
+        self.paused = False
+        barrier, self._pause_barrier = self._pause_barrier, None
+        inbox, self._paused_inbox = self._paused_inbox, []
+        if self.tracer is not None:
+            self.tracer.emit("host.resume", host=self.name)
+        for src, message in inbox:
+            if self.alive and self.service is not None:
+                self.service.handle_message(src, message)
+        if barrier is not None:
+            barrier.resolve(None)
+
+    def pause_for(self, stall: float) -> None:
+        """Pause now and automatically resume after ``stall`` seconds.
+        The resume is scheduled on the raw loop — a host timer would be
+        frozen by the very pause it is meant to end."""
+        self.pause()
+        self.loop.call_after(stall, self.resume)
+
     def crash(self) -> None:
         """Kill the process: volatile state is lost, disk survives."""
         if not self.alive:
             return
         self.alive = False
         self.incarnation += 1
+        if self.paused:
+            # A crashed host is no longer merely paused; deferred work is
+            # released into incarnation guards (which squelch it) and the
+            # buffered inbox is lost with the process.
+            self.paused = False
+            barrier, self._pause_barrier = self._pause_barrier, None
+            self._paused_inbox.clear()
+            if barrier is not None:
+                barrier.cancel()
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()

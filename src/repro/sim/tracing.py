@@ -7,6 +7,7 @@ them to measure unavailability windows and event timings.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -32,28 +33,47 @@ class TraceRecord:
 class Tracer:
     """Append-only trace sink with simple filtering.
 
-    ``capacity`` bounds memory for long benchmark runs: when exceeded, the
-    oldest half of the records is discarded (benchmarks only inspect
-    recent windows; correctness tests use unbounded tracers).
+    ``capacity`` bounds memory as a ring buffer: once full, each new
+    record evicts the oldest one and bumps ``dropped``. Multi-hundred-seed
+    explorer runs stay bounded while the retained tail — what repro
+    bundles capture — is always the most recent window. Correctness tests
+    use unbounded tracers (``capacity=None``).
     """
 
     def __init__(self, loop: EventLoop, capacity: int | None = None) -> None:
         self._loop = loop
         self._capacity = capacity
-        self.records: list[TraceRecord] = []
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
         self._subscribers: list[Callable[[TraceRecord], None]] = []
         self.dropped = 0
 
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
     def emit(self, kind: str, **fields: Any) -> TraceRecord:
         record = TraceRecord(time=self._loop.now, kind=kind, fields=fields)
+        if self._capacity is not None and len(self.records) == self._capacity:
+            self.dropped += 1  # deque evicts the oldest on append
         self.records.append(record)
-        if self._capacity is not None and len(self.records) > self._capacity:
-            half = len(self.records) // 2
-            self.dropped += half
-            del self.records[:half]
         for subscriber in self._subscribers:
             subscriber(record)
         return record
+
+    def tail(self, count: int) -> list[TraceRecord]:
+        """The most recent ``count`` retained records (oldest first)."""
+        if count <= 0:
+            return []
+        return list(self.records)[-count:]
+
+    def stats(self) -> dict[str, Any]:
+        """Ring-buffer observability: retained/dropped counts for runs
+        that must prove their memory stayed bounded."""
+        return {
+            "retained": len(self.records),
+            "dropped": self.dropped,
+            "capacity": self._capacity,
+        }
 
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         """Invoke ``fn`` synchronously on every future record."""

@@ -11,8 +11,8 @@ from repro.sim.rng import RngStream
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault. ``kind`` ∈ crash / restart / isolate / heal /
-    partition_regions / heal_regions."""
+    """One scheduled fault. ``kind`` ∈ crash / restart / pause / resume /
+    isolate / heal / partition_regions / heal_regions."""
 
     time: float
     kind: str
@@ -20,12 +20,29 @@ class FaultEvent:
     other: str = ""
 
     VALID = frozenset(
-        {"crash", "restart", "isolate", "heal", "partition_regions", "heal_regions"}
+        {
+            "crash",
+            "restart",
+            "pause",
+            "resume",
+            "isolate",
+            "heal",
+            "partition_regions",
+            "heal_regions",
+        }
     )
 
     def __post_init__(self) -> None:
         if self.kind not in self.VALID:
             raise ReproError(f"unknown fault kind {self.kind!r}")
+
+    def to_wire(self) -> tuple:
+        return (self.time, self.kind, self.target, self.other)
+
+    @classmethod
+    def from_wire(cls, wire) -> "FaultEvent":
+        time, kind, target, other = wire
+        return cls(float(time), str(kind), str(target), str(other))
 
 
 class FaultSchedule:
@@ -44,6 +61,10 @@ class FaultSchedule:
             cluster.crash(event.target)
         elif event.kind == "restart":
             cluster.restart(event.target)
+        elif event.kind == "pause":
+            cluster.hosts[event.target].pause()
+        elif event.kind == "resume":
+            cluster.hosts[event.target].resume()
         elif event.kind == "isolate":
             cluster.net.isolate(event.target)
         elif event.kind == "heal":
@@ -57,7 +78,14 @@ class FaultSchedule:
 @dataclass
 class RandomFaultInjector:
     """MyShadow-style continuous failure injection (§5.1): repeatedly
-    crash-and-restart random members on a seeded schedule."""
+    crash-and-restart (or stall-and-resume) random members on a seeded
+    schedule.
+
+    Every injected fault is recorded in ``events`` as the pair of
+    :class:`FaultEvent` records that would reproduce it, so a failing run
+    can be replayed — and delta-debugged — as a scripted
+    :class:`FaultSchedule` (see :meth:`as_schedule`).
+    """
 
     cluster: object
     rng: RngStream
@@ -65,12 +93,21 @@ class RandomFaultInjector:
     downtime: float = 5.0
     targets: list = field(default_factory=list)
     crash_leader_bias: float = 0.5
+    # Probability that an injected fault is a stop-the-world pause instead
+    # of a crash (exercises stale-leader / lease-less read hazards).
+    pause_probability: float = 0.0
+    pause_stall: float | None = None  # defaults to ``downtime``
     injected: int = 0
+    events: list = field(default_factory=list)
 
     def start(self, duration: float) -> None:
         from repro.sim.coro import spawn
 
         spawn(self.cluster.loop, self._loop(duration), label="fault-injector")
+
+    def as_schedule(self) -> FaultSchedule:
+        """The faults injected so far, as a replayable scripted schedule."""
+        return FaultSchedule(list(self.events))
 
     def _loop(self, duration: float):
         loop = self.cluster.loop
@@ -86,7 +123,15 @@ class RandomFaultInjector:
             if not host.alive:
                 continue
             self.injected += 1
-            host.crash_for(self.downtime)
+            if self.pause_probability > 0 and self.rng.bernoulli(self.pause_probability):
+                stall = self.pause_stall if self.pause_stall is not None else self.downtime
+                self.events.append(FaultEvent(loop.now, "pause", target))
+                self.events.append(FaultEvent(loop.now + stall, "resume", target))
+                host.pause_for(stall)
+            else:
+                self.events.append(FaultEvent(loop.now, "crash", target))
+                self.events.append(FaultEvent(loop.now + self.downtime, "restart", target))
+                host.crash_for(self.downtime)
 
     def _pick_target(self):
         primary = self.cluster.primary_service()

@@ -31,12 +31,19 @@ class WorkloadSpec:
     key_space: int = 100_000
     rows_per_txn: int = 1
     value_bytes: int = 64
+    # Fraction of operations issued as linearizable reads (commit-barrier
+    # reads through the pipeline). 0.0 keeps the workload write-only and,
+    # deliberately, draws nothing from the RNG — existing seeds replay
+    # byte-identically.
+    read_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clients < 1:
             raise ReproError("workload needs at least one client")
         if self.rows_per_txn < 1:
             raise ReproError("rows_per_txn must be >= 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ReproError("read_fraction must be in [0, 1]")
 
     def sample_think(self, rng: RngStream) -> float:
         if self.think_time <= 0:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ReadOnlyError, ReproError
 from repro.metrics import LatencyHistogram, LatencySummary, ThroughputSeries, summarize
 from repro.sim.coro import spawn
 from repro.workload.generators import WorkloadSpec
@@ -32,7 +32,13 @@ class WorkloadResult:
 class WorkloadRunner:
     """Closed-loop clients against one replicaset."""
 
-    def __init__(self, cluster, spec: WorkloadSpec, throughput_bucket: float = 1.0) -> None:
+    def __init__(
+        self,
+        cluster,
+        spec: WorkloadSpec,
+        throughput_bucket: float = 1.0,
+        history=None,
+    ) -> None:
         self.cluster = cluster
         self.spec = spec
         self.rng = cluster.rng.child(f"workload/{spec.name}")
@@ -41,6 +47,10 @@ class WorkloadRunner:
             latency=LatencyHistogram(spec.name),
             throughput=ThroughputSeries(throughput_bucket, spec.name),
         )
+        # Optional repro.check.HistoryRecorder: when present, every client
+        # operation is recorded with its invocation/response window for
+        # post-run linearizability checking.
+        self.history = history
         self._stop_at = 0.0
         self._txn_counter = 0
 
@@ -67,26 +77,83 @@ class WorkloadRunner:
             if primary is None or not primary.host.alive:
                 yield 0.05  # discovery retry backoff
                 continue
-            self._txn_counter += 1
-            rows = self.spec.make_rows(rng, self._txn_counter)
-            started = loop.now
-            yield self.spec.client_latency.sample(rng)  # request flight
-            try:
-                process = primary.submit_write(self.spec.table, rows)
-                yield process
-            except Exception:  # noqa: BLE001 - demotion/crash mid-write
-                self.result.errors += 1
-                yield 0.02
-                continue
-            yield self.spec.client_latency.sample(rng)  # response flight
-            finished = loop.now
-            if started >= measure_from and finished <= self._stop_at:
-                self.result.latency.record(finished - started)
-                self.result.throughput.record(finished)
-                self.result.committed += 1
+            # The read draw is guarded so a write-only spec consumes no
+            # extra randomness: existing seeds replay byte-identically.
+            is_read = (
+                self.spec.read_fraction > 0
+                and getattr(primary, "submit_read", None) is not None
+                and rng.random() < self.spec.read_fraction
+            )
+            if is_read:
+                yield from self._one_read(client_id, primary, rng, measure_from)
+            else:
+                yield from self._one_write(client_id, primary, rng, measure_from)
             think = self.spec.sample_think(rng)
             if think > 0:
                 yield think
+
+    def _one_write(self, client_id: int, primary, rng, measure_from: float):
+        loop = self.cluster.loop
+        self._txn_counter += 1
+        rows = self.spec.make_rows(rng, self._txn_counter)
+        ops = []
+        if self.history is not None:
+            ops = [
+                self.history.invoke(
+                    client_id, "write", (self.spec.table, pk), row["v"]
+                )
+                for pk, row in rows.items()
+            ]
+        started = loop.now
+        yield self.spec.client_latency.sample(rng)  # request flight
+        try:
+            process = primary.submit_write(self.spec.table, rows)
+            yield process
+        except Exception as err:  # noqa: BLE001 - demotion/crash mid-write
+            self.result.errors += 1
+            # Rejected before submission → definitely not applied. Any
+            # failure after submission is indeterminate: the payload may
+            # sit in a log suffix a future leader commits.
+            for op in ops:
+                self.history.fail(op, definite=isinstance(err, ReadOnlyError))
+            yield 0.02
+            return
+        yield self.spec.client_latency.sample(rng)  # response flight
+        finished = loop.now
+        for op in ops:
+            self.history.complete(op)
+        if started >= measure_from and finished <= self._stop_at:
+            self.result.latency.record(finished - started)
+            self.result.throughput.record(finished)
+            self.result.committed += 1
+
+    def _one_read(self, client_id: int, primary, rng, measure_from: float):
+        loop = self.cluster.loop
+        pk = rng.randint(0, self.spec.key_space - 1)
+        op = None
+        if self.history is not None:
+            op = self.history.invoke(client_id, "read", (self.spec.table, pk))
+        started = loop.now
+        yield self.spec.client_latency.sample(rng)  # request flight
+        try:
+            process = primary.submit_read(self.spec.table, pk)
+            result = yield process
+        except Exception:  # noqa: BLE001 - demotion/crash mid-read
+            self.result.errors += 1
+            if op is not None:
+                # A failed read constrains nothing either way.
+                self.history.fail(op, definite=True)
+            yield 0.02
+            return
+        yield self.spec.client_latency.sample(rng)  # response flight
+        finished = loop.now
+        if op is not None:
+            _opid, row = result
+            self.history.complete(op, value=row["v"] if row is not None else None)
+        if started >= measure_from and finished <= self._stop_at:
+            self.result.latency.record(finished - started)
+            self.result.throughput.record(finished)
+            self.result.committed += 1
 
 
 @dataclass

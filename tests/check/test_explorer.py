@@ -1,0 +1,89 @@
+"""Explorer, bundle, shrink, and mutation self-validation tests.
+
+The integration tests here run real (short) simulations; the scenario
+used is deliberately small so the whole module stays in tier-1 budget.
+"""
+
+from dataclasses import replace
+
+from repro.check.explorer import replay_bundle, run_once, write_bundle
+from repro.check.mutations import MUTATIONS, apply_mutation
+from repro.check.scenarios import SCENARIOS
+from repro.check.shrink import ddmin, shrink_schedule
+from repro.flexiraft.policy import FlexiRaftPolicy
+from repro.raft.node import RaftNode
+from repro.workload.faults import FaultEvent
+
+QUICK = replace(
+    SCENARIOS["crashes"], duration=10.0, settle=4.0, clients=1, think_time=0.1
+)
+
+
+class TestRunOnce:
+    def test_clean_run(self):
+        outcome = run_once(QUICK, seed=3)
+        assert outcome.ok
+        assert outcome.committed > 0
+        assert outcome.checks["commits"] > 0
+        assert outcome.trace_tail
+
+    def test_deterministic_digest(self):
+        assert run_once(QUICK, seed=5).digest() == run_once(QUICK, seed=5).digest()
+
+    def test_scripted_schedule_round_trip(self):
+        first = run_once(QUICK, seed=4)
+        events = [FaultEvent.from_wire(w) for w in first.fault_events]
+        replayed = run_once(QUICK, seed=4, schedule=events)
+        assert replayed.ok == first.ok
+        assert replayed.scripted
+
+
+class TestDdmin:
+    def test_minimizes_to_exact_culprits(self):
+        items = list(range(20))
+        minimal = ddmin(items, lambda subset: 3 in subset and 7 in subset)
+        assert sorted(minimal) == [3, 7]
+
+    def test_single_item(self):
+        assert ddmin([1], lambda subset: 1 in subset) == [1]
+
+    def test_all_items_needed(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda subset: len(subset) == 3) == items
+
+
+class TestMutations:
+    def test_all_mutations_restore_cleanly(self):
+        original_quorum = FlexiRaftPolicy.election_quorum_satisfied
+        original_vote = RaftNode._evaluate_vote
+        for name in MUTATIONS:
+            with apply_mutation(name):
+                pass
+        assert FlexiRaftPolicy.election_quorum_satisfied is original_quorum
+        assert RaftNode._evaluate_vote is original_vote
+
+    def test_weakened_election_detected_and_shrinks(self, tmp_path):
+        # The mutation re-opens the stale-quorum election bug this harness
+        # originally caught; the monitors must flag it again.
+        scenario = SCENARIOS["crashes"]
+        outcome = run_once(scenario, seed=0, mutation="election-own-region-only")
+        assert not outcome.ok
+        assert outcome.violations
+
+        bundle = write_bundle(outcome, tmp_path)
+        replayed = replay_bundle(bundle)
+        assert not replayed.ok
+        assert replayed.digest() == outcome.digest()
+
+        events = [FaultEvent.from_wire(w) for w in outcome.fault_events]
+        result = shrink_schedule(
+            scenario, 0, events, mutation="election-own-region-only"
+        )
+        assert result.probes >= 1
+        assert len(result.minimal) <= len(result.original)
+
+    def test_mutation_does_not_leak_into_clean_run(self):
+        with apply_mutation("election-own-region-only"):
+            pass
+        outcome = run_once(QUICK, seed=3)
+        assert outcome.ok

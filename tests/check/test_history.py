@@ -1,0 +1,153 @@
+"""Wing–Gong linearizability checker unit tests."""
+
+from repro.check.history import (
+    FAILED,
+    MAYBE,
+    OK,
+    PENDING,
+    HistoryRecorder,
+    OpRecord,
+    check_linearizable,
+)
+
+
+class FakeLoop:
+    def __init__(self):
+        self.now = 0.0
+
+
+def recorder_with(ops):
+    recorder = HistoryRecorder(FakeLoop())
+    recorder.ops = list(ops)
+    return recorder
+
+
+def write(value, invoked, returned, status=OK, key=("t", 1), client=0):
+    return OpRecord(
+        client=client, kind="write", key=key, value=value,
+        invoked=invoked, returned=returned, status=status,
+    )
+
+
+def read(value, invoked, returned, status=OK, key=("t", 1), client=0):
+    return OpRecord(
+        client=client, kind="read", key=key, value=value,
+        invoked=invoked, returned=returned, status=status,
+    )
+
+
+class TestLegalHistories:
+    def test_sequential_write_then_read(self):
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), read("a", 2, 3)])
+        )
+        assert report.ok
+
+    def test_read_of_initial_value(self):
+        report = check_linearizable(recorder_with([read(None, 0, 1)]))
+        assert report.ok
+
+    def test_concurrent_write_read_either_order(self):
+        # Read overlaps the write: may see old or new value.
+        assert check_linearizable(
+            recorder_with([write("a", 0, 10), read(None, 1, 2, client=1)])
+        ).ok
+        assert check_linearizable(
+            recorder_with([write("a", 0, 10), read("a", 1, 2, client=1)])
+        ).ok
+
+    def test_keys_checked_independently(self):
+        report = check_linearizable(
+            recorder_with(
+                [
+                    write("a", 0, 1, key=("t", 1)),
+                    write("b", 0, 1, key=("t", 2)),
+                    read("a", 2, 3, key=("t", 1)),
+                    read("b", 2, 3, key=("t", 2)),
+                ]
+            )
+        )
+        assert report.ok and report.keys_checked == 2
+
+
+class TestViolations:
+    def test_stale_read_detected(self):
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), write("b", 2, 3), read("a", 4, 5)])
+        )
+        assert not report.ok
+        assert report.failed_key == ("t", 1)
+
+    def test_read_from_the_future_detected(self):
+        # Read returns a value whose write is invoked strictly later.
+        report = check_linearizable(
+            recorder_with([read("a", 0, 1), write("a", 2, 3)])
+        )
+        assert not report.ok
+
+    def test_value_never_written_detected(self):
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), read("ghost", 2, 3)])
+        )
+        assert not report.ok
+
+
+class TestIndeterminateOps:
+    def test_maybe_write_may_be_dropped(self):
+        # The maybe-write never needs to linearize.
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), write("b", 2, 3, status=MAYBE), read("a", 4, 5)])
+        )
+        assert report.ok
+
+    def test_maybe_write_may_take_effect_late(self):
+        # ...but it can also commit long after its client gave up.
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), write("b", 2, 3, status=MAYBE), read("b", 9, 10)])
+        )
+        assert report.ok
+
+    def test_failed_write_must_not_be_observed(self):
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), write("b", 2, 3, status=FAILED), read("b", 4, 5)])
+        )
+        assert not report.ok
+
+    def test_pending_write_is_open_ended(self):
+        report = check_linearizable(
+            recorder_with([write("a", 0, None, status=PENDING), read("a", 5, 6)])
+        )
+        assert report.ok
+
+    def test_failed_reads_constrain_nothing(self):
+        report = check_linearizable(
+            recorder_with([write("a", 0, 1), read("zzz", 2, 3, status=FAILED)])
+        )
+        assert report.ok
+
+
+class TestRecorder:
+    def test_invoke_complete_windows(self):
+        loop = FakeLoop()
+        recorder = HistoryRecorder(loop)
+        op = recorder.invoke(0, "write", ("t", 1), "a")
+        loop.now = 2.0
+        recorder.complete(op)
+        assert op.invoked == 0.0 and op.returned == 2.0 and op.status == OK
+
+    def test_fail_definite_and_indeterminate(self):
+        loop = FakeLoop()
+        recorder = HistoryRecorder(loop)
+        definite = recorder.invoke(0, "write", ("t", 1), "a")
+        recorder.fail(definite, definite=True)
+        indeterminate = recorder.invoke(0, "write", ("t", 1), "b")
+        recorder.fail(indeterminate, definite=False)
+        stats = recorder.stats()
+        assert stats[FAILED] == 1 and stats[MAYBE] == 1
+
+    def test_read_value_recorded_on_complete(self):
+        loop = FakeLoop()
+        recorder = HistoryRecorder(loop)
+        op = recorder.invoke(0, "read", ("t", 1))
+        recorder.complete(op, value="seen")
+        assert op.value == "seen"

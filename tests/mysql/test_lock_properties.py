@@ -74,3 +74,32 @@ def test_waiters_granted_in_fifo_order(waiter_count):
         assert order[-1] == expected
         current = expected
     assert order == list(range(1, waiter_count + 1))
+
+
+def test_release_discards_own_stale_wait():
+    """A duplicate enqueue satisfied by an earlier grant must not hand the
+    lock back to the transaction releasing it."""
+    locks = LockTable()
+    grants = []
+    assert locks.try_acquire(("t", 0), 2, lambda: grants.append(2))
+    assert not locks.try_acquire(("t", 0), 1, lambda: grants.append(1))
+    assert not locks.try_acquire(("t", 0), 1, lambda: grants.append(1))
+    locks.release_all(2)
+    assert locks.owner_of(("t", 0)) == 1 and grants == [1]
+    locks.release_all(1)
+    assert locks.owner_of(("t", 0)) is None
+    assert locks.held_count() == 0
+    assert grants == [1]  # the stale duplicate never fired
+
+
+def test_release_skips_stale_wait_to_next_waiter():
+    locks = LockTable()
+    grants = []
+    assert locks.try_acquire(("t", 0), 2, lambda: grants.append(2))
+    assert not locks.try_acquire(("t", 0), 1, lambda: grants.append(1))
+    assert not locks.try_acquire(("t", 0), 1, lambda: grants.append(1))
+    assert not locks.try_acquire(("t", 0), 3, lambda: grants.append(3))
+    locks.release_all(2)
+    locks.release_all(1)
+    assert locks.owner_of(("t", 0)) == 3
+    assert grants == [1, 3]

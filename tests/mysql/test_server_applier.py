@@ -35,6 +35,11 @@ class ServerWorld:
         make_pipeline_for_server(self.server, self._flush, self._wait, name="solo-pipeline")
         self.server.enable_client_writes()
 
+    def reset_pipeline(self):
+        """Replace a stopped pipeline (mirrors the plugin's runtime rebuild
+        after a role change)."""
+        make_pipeline_for_server(self.server, self._flush, self._wait, name="solo-pipeline")
+
     def _flush(self, group):
         for txn in group:
             self.next_index += 1

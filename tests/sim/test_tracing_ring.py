@@ -1,0 +1,74 @@
+"""Tracer ring-buffer semantics: bounded retention with a dropped counter."""
+
+from repro.sim.loop import EventLoop
+from repro.sim.tracing import Tracer
+
+
+def make_tracer(capacity):
+    return Tracer(EventLoop(), capacity=capacity)
+
+
+class TestUnboundedTracer:
+    def test_retains_everything(self):
+        tracer = make_tracer(None)
+        for i in range(1000):
+            tracer.emit("tick", i=i)
+        assert len(tracer.records) == 1000
+        assert tracer.dropped == 0
+        assert tracer.stats() == {"retained": 1000, "dropped": 0, "capacity": None}
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention(self):
+        tracer = make_tracer(16)
+        for i in range(100):
+            tracer.emit("tick", i=i)
+        assert len(tracer.records) == 16
+        assert tracer.dropped == 84
+        assert tracer.capacity == 16
+
+    def test_retained_tail_is_the_newest_window(self):
+        tracer = make_tracer(4)
+        for i in range(10):
+            tracer.emit("tick", i=i)
+        assert [r.get("i") for r in tracer.records] == [6, 7, 8, 9]
+        assert [r.get("i") for r in tracer.tail(2)] == [8, 9]
+        assert tracer.tail(0) == []
+        # Asking for more than is retained returns what's there.
+        assert len(tracer.tail(100)) == 4
+
+    def test_stats_report_eviction(self):
+        tracer = make_tracer(8)
+        for _ in range(8):
+            tracer.emit("fill")
+        assert tracer.stats() == {"retained": 8, "dropped": 0, "capacity": 8}
+        tracer.emit("overflow")
+        assert tracer.stats() == {"retained": 8, "dropped": 1, "capacity": 8}
+
+    def test_filters_see_only_retained_records(self):
+        tracer = make_tracer(3)
+        tracer.emit("old")
+        for _ in range(3):
+            tracer.emit("new")
+        assert tracer.count("old") == 0
+        assert tracer.count("new") == 3
+        assert tracer.last("old") is None
+        assert tracer.of_kind("new") == list(tracer.records)
+
+    def test_subscribers_fire_even_when_evicting(self):
+        tracer = make_tracer(2)
+        seen = []
+        tracer.subscribe(lambda record: seen.append(record.kind))
+        for _ in range(5):
+            tracer.emit("tick")
+        assert seen == ["tick"] * 5  # eviction never drops notifications
+
+    def test_clear_resets_dropped(self):
+        tracer = make_tracer(2)
+        for _ in range(5):
+            tracer.emit("tick")
+        tracer.clear()
+        assert len(tracer.records) == 0
+        assert tracer.dropped == 0
+        tracer.emit("tick")
+        assert tracer.stats() == {"retained": 1, "dropped": 0, "capacity": 2}
