@@ -115,7 +115,12 @@ def run_once(
         scripted=schedule is not None,
     )
     with apply_mutation(mutation):
-        cluster = MyRaftReplicaset(scenario.topology(), seed=seed, trace_capacity=2048)
+        cluster = MyRaftReplicaset(
+            scenario.topology(),
+            seed=seed,
+            raft_config=scenario.raft_config(),
+            trace_capacity=2048,
+        )
         suite = InvariantSuite()
         suite.attach(cluster)
         history = HistoryRecorder(cluster.loop)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.topology import ReplicaSetSpec, paper_topology
+from repro.raft.config import RaftConfig
 from repro.sim.network import LogNormalLatency
 from repro.workload.faults import FaultEvent, FaultSchedule, RandomFaultInjector
 from repro.workload.generators import WorkloadSpec
@@ -51,11 +52,16 @@ class Scenario:
     downtime: float = 2.0
     pause_probability: float = 0.0
     crash_leader_bias: float = 0.5
+    # Replica apply mode: 1 = serial, >1 = MTS parallel apply.
+    parallel_apply_workers: int = 1
 
     def topology(self) -> ReplicaSetSpec:
         return paper_topology(
             follower_regions=self.follower_regions, learners=self.learners
         )
+
+    def raft_config(self) -> RaftConfig:
+        return RaftConfig(parallel_apply_workers=self.parallel_apply_workers)
 
     def workload_spec(self) -> WorkloadSpec:
         return WorkloadSpec(
@@ -153,6 +159,13 @@ SCENARIOS: dict[str, Scenario] = {
             faults="pause_storm",
             mean_interval=4.0,
             downtime=2.0,
+        ),
+        Scenario(
+            name="parallel-apply",
+            description="random churn with the MTS parallel applier (4 workers)",
+            faults="random",
+            crash_leader_bias=0.5,
+            parallel_apply_workers=4,
         ),
     )
 }

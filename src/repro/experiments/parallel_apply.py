@@ -1,0 +1,271 @@
+"""Parallel replica apply: serial vs multi-worker catch-up (A/B).
+
+Replica apply throughput bounds the paper's headline metrics: promotion
+step 2 waits for the applier to catch up (§3.3), and a dead-primary
+failover is only as fast as the slowest step. This experiment measures
+the applier in isolation, the way a DBA would benchmark MTS on stock
+MySQL: on the paper 3-region topology, STOP REPLICA SQL_THREAD on one
+remote-region database, pump a low-contention multi-row write stream so
+its relay log accumulates a backlog (the I/O side — Raft replication —
+never stops), then START REPLICA SQL_THREAD and time how long the engine
+takes to reach the leader's last index.
+
+Run twice with the same seed — ``parallel_apply_workers=1`` (today's
+serial applier) and ``=N`` (the LOGICAL_CLOCK/WRITESET scheduler) — the
+backlog bytes are identical, so the drain is a pure apply-speed A/B.
+Throughput is reported in *simulated* time (the modeled metric — the
+same convention as every latency figure here); wall-clock is recorded
+but informational, as both variants execute the same number of simulator
+events. Convergence gates: engine state and log content byte-identical
+across every member and across both variants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+from repro.cluster import MyRaftReplicaset, paper_topology
+from repro.errors import ReproError
+from repro.experiments.common import format_table
+from repro.raft.config import RaftConfig
+from repro.workload.profiles import production_timing
+
+
+@dataclass(frozen=True)
+class ApplyVariant:
+    """One measured catch-up drain."""
+
+    label: str
+    workers: int
+    seed: int
+    backlog_txns: int
+    drain_sim_seconds: float
+    txns_per_sim_second: float
+    drain_wall_seconds: float
+    txns_per_wall_second: float
+    peak_inflight: int
+    applied: int
+    skipped_duplicates: int
+    final_apply_lag: int
+    engine_checksum: int
+    log_checksum: str
+    engines_converged: bool
+
+
+@dataclass
+class ParallelApplyResult:
+    entries: int
+    rows_per_txn: int
+    workers: int
+    seeds: tuple
+    serial: list  # ApplyVariant per seed
+    parallel: list  # ApplyVariant per seed
+
+    @property
+    def speedup(self) -> float:
+        """Catch-up throughput ratio (simulated time), worst seed —
+        the headline ≥2x acceptance bar."""
+        ratios = [
+            p.txns_per_sim_second / s.txns_per_sim_second
+            for s, p in zip(self.serial, self.parallel)
+            if s.txns_per_sim_second > 0
+        ]
+        return min(ratios) if ratios else 0.0
+
+    @property
+    def state_matches(self) -> bool:
+        """Engine state and log content byte-identical across modes and
+        seeds: each variant converged internally, and serial/parallel
+        produced the same engine checksum and log checksum per seed."""
+        return all(
+            s.engines_converged
+            and p.engines_converged
+            and s.engine_checksum == p.engine_checksum
+            and s.log_checksum == p.log_checksum
+            for s, p in zip(self.serial, self.parallel)
+        )
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                v.label,
+                v.seed,
+                v.backlog_txns,
+                f"{v.drain_sim_seconds * 1e3:.0f}ms",
+                f"{v.txns_per_sim_second:,.0f}",
+                f"{v.drain_wall_seconds:.2f}",
+                v.peak_inflight,
+                "yes" if v.engines_converged else "NO",
+            ]
+            for pair in zip(self.serial, self.parallel)
+            for v in pair
+        ]
+        lines = [
+            f"parallel apply: {self.entries} txns x {self.rows_per_txn} rows, "
+            f"{self.workers} workers (seeds {', '.join(map(str, self.seeds))})",
+            format_table(
+                [
+                    "variant",
+                    "seed",
+                    "backlog",
+                    "drain_sim",
+                    "txns/sim_s",
+                    "wall_s",
+                    "inflight",
+                    "converged",
+                ],
+                rows,
+            ),
+            f"catch-up speedup (simulated, worst seed): {self.speedup:.2f}x",
+            f"engine+log checksums identical across modes and seeds: "
+            f"{'yes' if self.state_matches else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "parallel_apply",
+            "entries": self.entries,
+            "rows_per_txn": self.rows_per_txn,
+            "workers": self.workers,
+            "seeds": list(self.seeds),
+            "serial": [asdict(v) for v in self.serial],
+            "parallel": [asdict(v) for v in self.parallel],
+            "speedup": round(self.speedup, 2),
+            "state_matches": self.state_matches,
+        }
+
+
+def _pump_writes(cluster, primary, count, rows_per_txn, key_space):
+    """Drive ``count`` multi-row writes over a wide key space (low
+    contention: consecutive transactions touch disjoint rows) with a
+    bounded in-flight window."""
+    in_flight: list = []
+    submitted = 0
+    stall_guard = 0
+    while submitted < count or in_flight:
+        while submitted < count and len(in_flight) < 32:
+            base = submitted * rows_per_txn
+            rows = {
+                (base + j) % key_space: {"id": (base + j) % key_space, "n": submitted}
+                for j in range(rows_per_txn)
+            }
+            in_flight.append(primary.submit_write("kv", rows))
+            submitted += 1
+        cluster.run(0.05)
+        in_flight = [p for p in in_flight if not p.done()]
+        stall_guard += 1
+        if stall_guard > count * 40:
+            raise ReproError("write pump stalled")
+
+
+def _wait_until(cluster, predicate, timeout, what):
+    deadline = cluster.loop.now + timeout
+    while cluster.loop.now < deadline:
+        if predicate():
+            return
+        cluster.run(0.02)
+    raise ReproError(f"timed out waiting for {what}")
+
+
+def _run_variant(
+    label: str,
+    workers: int,
+    entries: int,
+    seed: int,
+    rows_per_txn: int,
+    key_space: int,
+) -> ApplyVariant:
+    config = RaftConfig(parallel_apply_workers=workers)
+    cluster = MyRaftReplicaset(
+        paper_topology(),
+        seed=seed,
+        raft_config=config,
+        timing=production_timing(myraft=True),
+        trace_capacity=256,
+    )
+    primary = cluster.bootstrap()
+
+    # The replica under test: a database in another region. Its SQL
+    # thread stops; Raft keeps delivering to its relay log regardless.
+    lagging = next(
+        s for s in cluster.database_services() if s.host.region != primary.host.region
+    )
+    lagging.stop_sql_thread()
+
+    _pump_writes(cluster, primary, entries, rows_per_txn, key_space)
+    goal = primary.node.last_opid.index
+    # Relay log fully shipped and the commit marker past the goal: the
+    # drain below then measures apply speed, not network catch-up.
+    _wait_until(
+        cluster,
+        lambda: lagging.node.last_opid.index >= goal
+        and lagging.node.commit_index >= goal,
+        timeout=120.0,
+        what=f"{lagging.host.name} relay log to reach {goal}",
+    )
+
+    backlog = goal - lagging.mysql.engine.last_committed_opid.index
+    drain_started_sim = cluster.loop.now
+    drain_started_wall = time.perf_counter()
+    lagging.start_sql_thread()
+    _wait_until(
+        cluster,
+        lambda: lagging.mysql.engine.last_committed_opid.index >= goal,
+        timeout=600.0,
+        what=f"{lagging.host.name} engine to drain to {goal}",
+    )
+    drain_sim = cluster.loop.now - drain_started_sim
+    drain_wall = time.perf_counter() - drain_started_wall
+
+    # Settle so every member (not just the one under test) converges.
+    cluster.run(2.0)
+    applier = lagging.applier
+    assert applier is not None
+    stats = applier.stats()
+    lag = lagging.node.stats()["apply_lag"]
+    return ApplyVariant(
+        label=label,
+        workers=workers,
+        seed=seed,
+        backlog_txns=backlog,
+        drain_sim_seconds=drain_sim,
+        txns_per_sim_second=backlog / drain_sim if drain_sim > 0 else 0.0,
+        drain_wall_seconds=drain_wall,
+        txns_per_wall_second=backlog / drain_wall if drain_wall > 0 else 0.0,
+        peak_inflight=stats["peak_inflight"],
+        applied=stats["applied"],
+        skipped_duplicates=stats["skipped_duplicates"],
+        final_apply_lag=lag,
+        engine_checksum=lagging.mysql.engine.checksum(),
+        log_checksum=primary.mysql.log_manager.content_checksum(),
+        engines_converged=cluster.databases_converged(),
+    )
+
+
+def run_parallel_apply(
+    entries: int = 1200,
+    workers: int = 4,
+    seeds: tuple = (1, 2),
+    rows_per_txn: int = 8,
+    key_space: int = 32768,
+) -> ParallelApplyResult:
+    """Serial vs parallel catch-up on the paper topology, per seed."""
+    serial = []
+    parallel = []
+    for seed in seeds:
+        serial.append(
+            _run_variant("serial", 1, entries, seed, rows_per_txn, key_space)
+        )
+        parallel.append(
+            _run_variant(f"{workers} workers", workers, entries, seed, rows_per_txn, key_space)
+        )
+    return ParallelApplyResult(
+        entries=entries,
+        rows_per_txn=rows_per_txn,
+        workers=workers,
+        seeds=tuple(seeds),
+        serial=serial,
+        parallel=parallel,
+    )

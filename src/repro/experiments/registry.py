@@ -13,6 +13,7 @@ from repro.experiments.fig5_latency import run_fig5a, run_fig5c
 from repro.experiments.fig5_throughput import run_fig5b, run_fig5d
 from repro.experiments.flexi_ablation import run_flexi_ablation
 from repro.experiments.mock_election_ablation import run_mock_election_ablation
+from repro.experiments.parallel_apply import run_parallel_apply
 from repro.experiments.proxy_bandwidth import run_proxy_bandwidth
 from repro.experiments.quorum_fixer_drill import run_quorum_fixer_drill
 from repro.experiments.repl_hotpath import run_repl_hotpath
@@ -35,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "enable-raft": run_rollout_drill,
     "snapshot-bootstrap": run_snapshot_bootstrap,
     "repl-hotpath": run_repl_hotpath,
+    "parallel-apply": run_parallel_apply,
 }
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, ClassVar, Iterator
 
 from repro.errors import BinlogCorruptionError, BinlogError
@@ -94,18 +94,35 @@ class PreviousGtidsEvent(BinlogEvent):
 
 @dataclass(frozen=True)
 class GtidEvent(BinlogEvent):
-    """Starts a transaction; carries the GTID and the Raft-stamped OpId."""
+    """Starts a transaction; carries the GTID and the Raft-stamped OpId.
+
+    ``last_committed`` / ``sequence_number`` are the LOGICAL_CLOCK
+    commit-parent metadata (MySQL 5.7 MTS): two transactions may apply in
+    parallel on a replica iff the later one's ``last_committed`` is at or
+    below the earlier one's engine-committed ``sequence_number``.
+    ``writeset`` optionally carries row-PK hashes (MySQL 8 WRITESET) so
+    the primary can relax ``last_committed`` past group boundaries for
+    non-conflicting transactions. A zero ``sequence_number`` marks an
+    unstamped (pre-logical-clock) transaction; replicas fall back to
+    serial apply for those.
+    """
 
     TYPE_CODE: ClassVar[int] = 3
     source_uuid: str = ""
     txn_id: int = 0
     opid: OpId | None = None
+    last_committed: int = 0
+    sequence_number: int = 0
+    writeset: tuple = ()
 
     def payload_dict(self) -> dict[str, Any]:
         return {
             "source_uuid": self.source_uuid,
             "txn_id": self.txn_id,
             "opid": _opid_to_wire(self.opid),
+            "last_committed": self.last_committed,
+            "sequence_number": self.sequence_number,
+            "writeset": list(self.writeset),
         }
 
     @classmethod
@@ -114,6 +131,9 @@ class GtidEvent(BinlogEvent):
             source_uuid=payload["source_uuid"],
             txn_id=payload["txn_id"],
             opid=_opid_from_wire(payload["opid"]),
+            last_committed=payload.get("last_committed", 0),
+            sequence_number=payload.get("sequence_number", 0),
+            writeset=tuple(payload.get("writeset", ())),
         )
 
 
@@ -351,7 +371,7 @@ class Transaction:
         """A copy with the OpId stamped into the framing event."""
         first = self.events[0]
         if isinstance(first, GtidEvent):
-            stamped = GtidEvent(first.source_uuid, first.txn_id, opid)
+            stamped = replace(first, opid=opid)
         elif isinstance(first, NoOpEvent):
             stamped = NoOpEvent(first.leader, opid)
         elif isinstance(first, RotateEvent):
@@ -360,6 +380,27 @@ class Transaction:
             stamped = ConfigChangeEvent(first.change, first.subject, first.members, opid)
         else:  # pragma: no cover - __post_init__ forbids this
             raise BinlogError(f"cannot stamp {type(first).__name__}")
+        return Transaction(events=(stamped,) + tuple(self.events[1:]))
+
+    def with_commit_meta(
+        self,
+        opid: OpId,
+        last_committed: int,
+        sequence_number: int,
+        writeset: tuple = (),
+    ) -> "Transaction":
+        """A copy with OpId plus LOGICAL_CLOCK/WRITESET metadata stamped
+        into the GtidEvent (primary flush stage, §3.4)."""
+        first = self.events[0]
+        if not isinstance(first, GtidEvent):
+            raise BinlogError(f"cannot stamp commit metadata on {type(first).__name__}")
+        stamped = replace(
+            first,
+            opid=opid,
+            last_committed=last_committed,
+            sequence_number=sequence_number,
+            writeset=tuple(writeset),
+        )
         return Transaction(events=(stamped,) + tuple(self.events[1:]))
 
     def encode(self) -> bytes:

@@ -24,6 +24,7 @@ from repro.control.discovery import ServiceDiscovery
 from repro.errors import NotLeaderError
 from repro.mysql.applier import Applier
 from repro.mysql.events import ConfigChangeEvent, NoOpEvent, RotateEvent, Transaction
+from repro.mysql.logical_clock import LogicalClock, writeset_hashes
 from repro.mysql.pipeline import PipelineTxn
 from repro.mysql.server import MySQLServer, ServerRole, make_pipeline_for_server
 from repro.mysql.timing import TimingProfile
@@ -123,8 +124,13 @@ class MyRaftServer:
         )
         self._commit_waiters: list[tuple[int, SimFuture]] = []
         self.applier: Applier | None = None
+        self._clock: LogicalClock | None = None
+        self._sql_thread_enabled = True
         self.promotions = 0
         self.demotions = 0
+        # Raft-side visibility of the engine apply watermark (replica
+        # apply lag = commit_index - applied index, surfaced in stats()).
+        self.node.applied_index_fn = lambda: self.mysql.engine.last_committed_opid.index
         self._wire_snapshots()
         self._build_replica_runtime()
 
@@ -184,11 +190,13 @@ class MyRaftServer:
             pipeline=pipeline,
             timing=self.mysql.timing,
             rng=self.mysql.rng,
+            workers=self.raft_config.parallel_apply_workers,
         )
         self.mysql.attach_applier(self.applier)
         # Online recovery protocol (§3.3 step 5): the applier cursor comes
         # from the last transaction committed in the engine.
-        self.applier.start(self.mysql.engine.last_committed_opid.index + 1)
+        if self._sql_thread_enabled:
+            self.applier.start(self.mysql.engine.last_committed_opid.index + 1)
 
     def _build_primary_runtime(self) -> None:
         make_pipeline_for_server(
@@ -198,16 +206,35 @@ class MyRaftServer:
             name=f"{self.host.name}.primary-pipeline",
         )
         self.applier = None
+        # Fresh logical clock per leadership: sequence numbers restart at
+        # zero and replicas key the domain off the OpId term.
+        self._clock = LogicalClock(
+            writeset_parallelism=self.raft_config.writeset_parallelism,
+            history_size=self.raft_config.writeset_history_size,
+        )
 
     # -- pipeline stage behaviours ---------------------------------------------------
 
     def _leader_flush(self, group: list[PipelineTxn]) -> OpId:
-        """Primary flush stage (§3.4): Raft assigns OpIds, stamps them into
-        the payloads, writes the binlog, caches, and starts shipping."""
+        """Primary flush stage (§3.4): Raft assigns OpIds, stamps them —
+        along with LOGICAL_CLOCK/WRITESET dependency metadata for the
+        replicas' parallel appliers — into the payloads, writes the
+        binlog, caches, and starts shipping."""
+        clock = self._clock
+        assert clock is not None
+        clock.begin_group()
         last: OpId | None = None
         for txn in group:
+            writeset = (
+                writeset_hashes(txn.engine_txn.changes)
+                if txn.engine_txn is not None
+                else ()
+            )
+            last_committed, sequence = clock.stamp(writeset)
             opid, _consensus = self.node.propose(
-                lambda assigned, t=txn: t.payload.with_opid(assigned).encode(),
+                lambda assigned, t=txn, lc=last_committed, sq=sequence, ws=writeset: (
+                    t.payload.with_commit_meta(assigned, lc, sq, ws).encode()
+                ),
                 ENTRY_KIND_DATA,
             )
             txn.opid = opid
@@ -415,6 +442,28 @@ class MyRaftServer:
         return self.host.spawn(
             self.mysql.client_read(table, pk), label=f"{self.host.name}:read"
         )
+
+    def stop_sql_thread(self) -> None:
+        """STOP REPLICA SQL_THREAD: halt apply while the relay log keeps
+        filling (the I/O side is Raft replication and never stops). The
+        standard way to stage a catch-up backlog for apply benchmarks."""
+        if self.node.is_leader:
+            raise NotLeaderError(f"{self.host.name} is the primary; no SQL thread")
+        self._sql_thread_enabled = False
+        if self.applier is not None and self.applier.running:
+            self.applier.stop()
+        if self.mysql.pipeline is not None:
+            # Kill in-flight apply groups like MySQL's worker stop: they
+            # roll back (online) and re-apply after START.
+            self.mysql.pipeline.abort_all("sql thread stopped")
+
+    def start_sql_thread(self) -> None:
+        """START REPLICA SQL_THREAD: resume apply from the engine's last
+        committed transaction (§3.3 step 5 positioning)."""
+        self._sql_thread_enabled = True
+        if self.applier is not None and not self.applier.running:
+            self.applier.start(self.mysql.engine.last_committed_opid.index + 1)
+            self.applier.signal()
 
     def flush_binary_logs(self):
         """FLUSH BINARY LOGS (§A.1): replicate a rotate through Raft."""

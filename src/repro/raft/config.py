@@ -73,6 +73,21 @@ class RaftConfig:
     # snapshot offer (the offer doubles as the resume cursor probe).
     snapshot_retry_interval: float = 0.5
 
+    # -- parallel replica apply (MTS, §3.5) ----------------------------------
+    # Number of applier worker coroutines on replicas. 1 reproduces the
+    # legacy serial applier exactly (same RNG draws, same schedule); >1
+    # enables the LOGICAL_CLOCK dependency scheduler for A/B benches.
+    parallel_apply_workers: int = 1
+    # Primary-side WRITESET relaxation: non-conflicting transactions get a
+    # commit parent below their group floor so replicas can overlap apply
+    # across group-commit boundaries. Off = pure LOGICAL_CLOCK stamping.
+    writeset_parallelism: bool = True
+    # Capacity of the primary's last-writer writeset history; when it
+    # fills, the history resets and parallelism falls back to group
+    # boundaries until it re-warms (mirrors
+    # binlog_transaction_dependency_history_size).
+    writeset_history_size: int = 2000
+
     # -- witness behaviour (§2.2, §4.1) ------------------------------------------
     # A witness elected leader transfers leadership to a caught-up
     # storage-engine member after this settle delay.
@@ -94,3 +109,7 @@ class RaftConfig:
             raise ValueError("snapshot_max_bytes_per_sec must be positive")
         if self.snapshot_retry_interval <= 0:
             raise ValueError("snapshot_retry_interval must be positive")
+        if self.parallel_apply_workers < 1:
+            raise ValueError("parallel_apply_workers must be >= 1")
+        if self.writeset_history_size < 1:
+            raise ValueError("writeset_history_size must be >= 1")

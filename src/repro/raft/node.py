@@ -116,6 +116,11 @@ class RaftNode:
         # snapshot adoptions; never changes behaviour.
         self.monitor: Any | None = None
 
+        # State-machine apply watermark (attached by the embedding plugin:
+        # the engine's last committed index). Lets stats() report replica
+        # apply lag — commit_index minus what the applier has committed.
+        self.applied_index_fn: "Callable[[], int] | None" = None
+
         # Volatile — rebuilt by _init_volatile on every (re)start.
         self._init_volatile()
 
@@ -269,11 +274,16 @@ class RaftNode:
         """Perf-observability counters (benches and shadow checks assert
         on these instead of guessing): log shape from the storage layer
         plus the log cache's hit/miss/fill/eviction counters and current
-        byte size, plus fan-out round count."""
+        byte size, fan-out round count, and the replica apply watermark
+        (apply lag = committed-but-not-yet-engine-applied entries)."""
+        applied = self.applied_index_fn() if self.applied_index_fn is not None else None
         return {
             "log": self.storage.stats(),
             "cache": self.cache.stats(),
             "replication_rounds": self.metrics["replication_rounds"],
+            "commit_index": self.commit_index,
+            "applied_index": applied,
+            "apply_lag": max(0, self.commit_index - applied) if applied is not None else None,
         }
 
     def status(self) -> dict[str, Any]:

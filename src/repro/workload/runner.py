@@ -24,6 +24,11 @@ class WorkloadResult:
     throughput: ThroughputSeries
     committed: int = 0
     errors: int = 0
+    # Replica apply lag (leader commit index minus replica engine
+    # watermark, in log entries), sampled during the run: keys ``peak``,
+    # ``final``, ``samples``. Empty when the cluster doesn't expose
+    # database services (e.g. the semi-sync baseline).
+    apply_lag: dict = field(default_factory=dict)
 
     def latency_summary(self) -> LatencySummary:
         return summarize(self.latency)
@@ -66,6 +71,8 @@ class WorkloadRunner:
                 self._client(client_id, measure_from),
                 label=f"client-{client_id}",
             )
+        if callable(getattr(self.cluster, "database_services", None)):
+            spawn(loop, self._lag_sampler(), label="apply-lag-sampler")
         self.cluster.run(warmup + duration)
         return self.result
 
@@ -91,6 +98,40 @@ class WorkloadRunner:
             think = self.spec.sample_think(rng)
             if think > 0:
                 yield think
+
+    def _lag_sampler(self, interval: float = 0.25):
+        """Sample replica apply lag while the workload runs. Draws no
+        randomness and mutates nothing in the cluster, so it cannot
+        perturb existing seeds' schedules."""
+        loop = self.cluster.loop
+        peak = 0
+        samples = 0
+        last = 0
+        while loop.now < self._stop_at:
+            lag = self._current_apply_lag()
+            if lag is not None:
+                samples += 1
+                last = lag
+                if lag > peak:
+                    peak = lag
+                self.result.apply_lag = {"peak": peak, "final": last, "samples": samples}
+            yield interval
+
+    def _current_apply_lag(self) -> int | None:
+        """Worst replica lag right now: leader commit index minus each
+        live replica's engine apply watermark."""
+        primary = self.cluster.primary_service()
+        if primary is None or not primary.host.alive:
+            return None
+        commit_index = primary.node.commit_index
+        lags = [
+            commit_index - service.mysql.engine.last_committed_opid.index
+            for service in self.cluster.database_services()
+            if service.host.alive and service is not primary
+        ]
+        if not lags:
+            return None
+        return max(0, max(lags))
 
     def _one_write(self, client_id: int, primary, rng, measure_from: float):
         loop = self.cluster.loop
