@@ -1,0 +1,144 @@
+"""Consistent-read path bench (repro.experiments.read_path).
+
+Acceptance gates for the ``repro.reads`` subsystem on the paper topology:
+
+* **data path untouched** — write-phase engine and log checksums are
+  byte-identical across all four Raft read modes (reads must never
+  change what gets replicated);
+* **lease reads are free** — in lease mode every read is served straight
+  from the lease (``lease_reads == reads``) and the probe rounds during
+  the read phase are bounded by the heartbeat keepalive cadence, i.e.
+  *zero network rounds per read*, and no log growth;
+* **ReadIndex batches** — read_index mode confirms leadership with far
+  fewer quorum rounds than reads (concurrent reads share a round) and
+  appends nothing to the log;
+* **follower reads cut cross-region bytes** — follower mode moves fewer
+  cross-region bytes during the read phase than the legacy barrier
+  (which pushes a marker transaction through consensus per read);
+* every read mode stays as fast or faster than the barrier at p50.
+
+Two entry points:
+
+* ``python benchmarks/bench_read_path.py [--smoke] [--out FILE]`` runs
+  the A/B, prints the report, writes ``BENCH_read_path.json``, and exits
+  non-zero if a gate fails (what CI's perf-smoke step runs).
+* ``pytest benchmarks/bench_read_path.py`` runs the same thing under
+  pytest-benchmark (``READ_PATH_READS`` scales the read phase).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.read_path import (
+    LEASE_ROUND_SLACK,
+    ReadPathResult,
+    run_read_path,
+)
+
+READS = int(os.environ.get("READ_PATH_READS", "160"))
+WRITES = 80
+SMOKE_READS = 48
+SMOKE_WRITES = 30
+FULL_SEEDS = (1, 2)
+SMOKE_SEEDS = (1,)
+HEARTBEAT_INTERVAL = 0.5  # RaftConfig default, the lease keepalive cadence
+
+
+def check_gates(result: ReadPathResult) -> None:
+    assert result.state_matches, (
+        "write-phase engine/log checksums diverged across read modes"
+    )
+    barrier = {v.seed: v for v in result.by_mode("barrier")}
+    for v in result.variants:
+        assert v.read_errors == 0, f"{v.label} seed {v.seed}: {v.read_errors} read errors"
+        assert v.engines_converged, f"{v.label} seed {v.seed}: engines diverged"
+    for v in result.by_mode("lease"):
+        assert v.lease_reads == v.reads, (
+            f"lease seed {v.seed}: only {v.lease_reads}/{v.reads} reads served "
+            "from the lease"
+        )
+        keepalive_budget = v.read_phase_seconds / HEARTBEAT_INTERVAL + LEASE_ROUND_SLACK
+        assert v.probe_rounds <= keepalive_budget, (
+            f"lease seed {v.seed}: {v.probe_rounds} probe rounds exceeds the "
+            f"keepalive budget {keepalive_budget:.1f} — reads are paying "
+            "network rounds"
+        )
+        assert v.log_entries_for_reads == 0, (
+            f"lease seed {v.seed}: reads appended {v.log_entries_for_reads} log entries"
+        )
+    for v in result.by_mode("read_index"):
+        assert 0 < v.probe_rounds < v.reads, (
+            f"read_index seed {v.seed}: {v.probe_rounds} rounds for {v.reads} "
+            "reads — batching is not working"
+        )
+        assert v.log_entries_for_reads == 0, (
+            f"read_index seed {v.seed}: reads appended log entries"
+        )
+    for v in result.by_mode("follower"):
+        base = barrier[v.seed]
+        assert v.cross_region_read_bytes < base.cross_region_read_bytes, (
+            f"follower seed {v.seed}: {v.cross_region_read_bytes:,} cross-region "
+            f"bytes not below barrier's {base.cross_region_read_bytes:,}"
+        )
+        assert v.log_entries_for_reads == 0, (
+            f"follower seed {v.seed}: reads appended log entries"
+        )
+    for mode in ("read_index", "lease"):
+        for v in result.by_mode(mode):
+            base = barrier[v.seed]
+            assert v.p50_ms <= base.p50_ms, (
+                f"{mode} seed {v.seed}: p50 {v.p50_ms}ms worse than the "
+                f"barrier's {base.p50_ms}ms"
+            )
+
+
+def test_read_path(benchmark, report_printer):
+    smoke = READS < 160
+    result = benchmark.pedantic(
+        lambda: run_read_path(
+            writes=SMOKE_WRITES if smoke else WRITES,
+            reads=READS,
+            seeds=SMOKE_SEEDS if smoke else FULL_SEEDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_printer(result.format_report())
+    check_gates(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small read phase ({SMOKE_READS} reads, 1 seed) for CI",
+    )
+    parser.add_argument("--reads", type=int, default=None)
+    parser.add_argument("--writes", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_read_path.json")
+    args = parser.parse_args(argv)
+
+    reads = args.reads if args.reads is not None else (
+        SMOKE_READS if args.smoke else READS
+    )
+    writes = args.writes if args.writes is not None else (
+        SMOKE_WRITES if args.smoke else WRITES
+    )
+    result = run_read_path(
+        writes=writes, reads=reads, seeds=SMOKE_SEEDS if args.smoke else FULL_SEEDS
+    )
+    print(result.format_report())
+    payload = result.to_json()
+    payload["smoke"] = bool(args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    check_gates(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

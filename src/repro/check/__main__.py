@@ -41,6 +41,9 @@ from repro.workload.faults import FaultEvent
 # Scenario order used when hunting for a mutation's symptom: the
 # crash-loop exposes quorumless commits fastest, churn exposes vote bugs.
 MUTATION_HUNT_ORDER = ["leader-crash-loop", "crashes", "pause-storm", "region-partitions"]
+# Mutations whose symptom only exists under a specific scenario shape
+# hunt there instead (a lease weakening is inert unless leases are on).
+MUTATION_HUNT_OVERRIDES = {"lease-never-expires": ["read-lease"]}
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -152,7 +155,7 @@ def _validate_mutation(name: str, args, log) -> bool:
     """True when the weakened rule is caught by the monitors and its fault
     schedule shrinks to a minimal failing one."""
     seeds = range(args.base_seed, args.base_seed + max(args.seeds, 10))
-    for scenario_name in MUTATION_HUNT_ORDER:
+    for scenario_name in MUTATION_HUNT_OVERRIDES.get(name, MUTATION_HUNT_ORDER):
         scenario = SCENARIOS[scenario_name]
         for seed in seeds:
             outcome = run_once(scenario, seed, mutation=name)

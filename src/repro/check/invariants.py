@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import LogTruncatedError
+from repro.raft.log_storage import ENTRY_KIND_DATA
 from repro.raft.types import OpId
 
 #: Hard cap on recorded violations: a genuinely broken protocol violates
@@ -72,6 +73,7 @@ class _Election:
     granted: frozenset
     membership: Any  # MembershipConfig at the moment of election
     overridden: bool  # quorum-fixer override active (intersection waived)
+    time: float = 0.0  # sim time of the win (LeaseSafety evidence)
 
 
 def _digest(payload: bytes) -> int:
@@ -91,7 +93,7 @@ class InvariantSuite:
     #: when a member is reimaged from a wiped disk).
     commit_floor: dict[str, int] = field(default_factory=dict)
     checks: dict[str, int] = field(
-        default_factory=lambda: {"elections": 0, "commits": 0, "snapshots": 0}
+        default_factory=lambda: {"elections": 0, "commits": 0, "snapshots": 0, "reads": 0}
     )
     _elections: dict[int, _Election] = field(default_factory=dict)
 
@@ -148,6 +150,7 @@ class InvariantSuite:
             granted=granted,
             membership=node.membership,
             overridden=overridden,
+            time=node.host.loop.now,
         )
 
     def _check_leader_completeness(self, node) -> None:
@@ -245,6 +248,70 @@ class InvariantSuite:
         floor = self.commit_floor.get(node.name, 0)
         if new_index > floor:
             self.commit_floor[node.name] = new_index
+
+    def on_consistent_read(
+        self, node, mode: str, read_index: int, applied_index: int
+    ) -> None:
+        """Called by the plugin at the instant a ReadIndex-style read is
+        served from the local engine (repro.reads; never for the legacy
+        barrier mode, whose reads are ordinary committed transactions).
+
+        ReadIndexSafety: a read must never be served before the engine has
+        applied through its ReadIndex.
+
+        LeaseSafety: a leader serving reads locally (lease mode) must not
+        be a deposed leader living in the past. Serving is legitimate only
+        within ``lease_duration`` (drift-padded) of a quorum-acked probe
+        round, and any voter that acked was, at that moment, unaware of a
+        higher term — so if some election at a *higher* term completed
+        longer ago than the padded lease window (plus scheduling slack),
+        this node could not have confirmed any round since and must not be
+        serving.
+        """
+        self.checks["reads"] += 1
+        # A watermark/read-index gap is only a violation when it holds a
+        # *data* entry: no-ops, config changes and rotations never advance
+        # the engine's last-committed opid, so the engine state already
+        # covers a read index that points at one.
+        if applied_index < read_index and self._gap_holds_data(
+            node, applied_index, read_index
+        ):
+            self._record(
+                "ReadIndexSafety",
+                node,
+                f"read served at index {read_index} with engine applied "
+                f"only through {applied_index}",
+            )
+        if mode != "lease" or not node.is_leader:
+            return
+        config = node.config
+        slack = (
+            config.lease_duration * (1.0 + 2.0 * config.clock_drift_bound)
+            + 2.0 * config.heartbeat_interval
+        )
+        now = node.host.loop.now
+        for term, election in self._elections.items():
+            if term <= node.current_term or election.leader == node.name:
+                continue
+            if now - election.time > slack:
+                self._record(
+                    "LeaseSafety",
+                    node,
+                    f"leader at term {node.current_term} served a local read "
+                    f"although term {term} elected {election.leader} "
+                    f"{now - election.time:.3f}s ago (> {slack:.3f}s lease slack)",
+                )
+
+    @staticmethod
+    def _gap_holds_data(node, applied_index: int, read_index: int) -> bool:
+        for index in range(applied_index + 1, read_index + 1):
+            try:
+                entry = node.storage.entry(index)
+            except LogTruncatedError:
+                continue  # compacted below the snapshot base: applied by construction
+            if entry is None or entry.kind == ENTRY_KIND_DATA:
+                return True
+        return False
 
     def on_snapshot_adopted(self, node, opid: OpId) -> None:
         """Called at the top of ``adopt_snapshot`` — before the node bumps

@@ -109,6 +109,27 @@ def _double_vote() -> Callable[[], None]:
     return undo
 
 
+def _lease_never_expires() -> Callable[[], None]:
+    """Leader leases never expire (and ignore cede/holdoff): an isolated,
+    deposed leader keeps serving lease reads forever. Sticky clients read
+    values the new leader has already overwritten → a Wing–Gong
+    linearizability violation on the read history, and LeaseSafety from
+    the invariant monitor."""
+    from repro.reads.lease import LeaderLease
+
+    original = LeaderLease.valid
+
+    def mutated(self):
+        return True
+
+    LeaderLease.valid = mutated
+
+    def undo() -> None:
+        LeaderLease.valid = original
+
+    return undo
+
+
 MUTATIONS: dict[str, Mutation] = {
     mutation.name: mutation
     for mutation in (
@@ -126,6 +147,11 @@ MUTATIONS: dict[str, Mutation] = {
             "double-vote",
             "voters forget their vote and grant twice per term",
             _double_vote,
+        ),
+        Mutation(
+            "lease-never-expires",
+            "leader leases never expire; deposed leaders keep serving reads",
+            _lease_never_expires,
         ),
     )
 }

@@ -51,9 +51,15 @@ class Scenario:
     mean_interval: float = 5.0
     downtime: float = 2.0
     pause_probability: float = 0.0
+    isolate_probability: float = 0.0
     crash_leader_bias: float = 0.5
     # Replica apply mode: 1 = serial, >1 = MTS parallel apply.
     parallel_apply_workers: int = 1
+    # Consistent-read path (repro.reads): RaftConfig.read_mode plus the
+    # workload's read routing ("sticky" keeps clients reading a deposed
+    # leader — the hazard lease safety is about).
+    read_mode: str = "barrier"
+    read_routing: str = "primary"
 
     def topology(self) -> ReplicaSetSpec:
         return paper_topology(
@@ -61,7 +67,10 @@ class Scenario:
         )
 
     def raft_config(self) -> RaftConfig:
-        return RaftConfig(parallel_apply_workers=self.parallel_apply_workers)
+        return RaftConfig(
+            parallel_apply_workers=self.parallel_apply_workers,
+            read_mode=self.read_mode,
+        )
 
     def workload_spec(self) -> WorkloadSpec:
         return WorkloadSpec(
@@ -71,6 +80,7 @@ class Scenario:
             client_latency=LogNormalLatency(2e-3, 0.2, floor=1e-3),
             key_space=self.key_space,
             read_fraction=self.read_fraction,
+            read_routing=self.read_routing,
         )
 
     def make_faults(self, cluster, rng):
@@ -104,6 +114,7 @@ class Scenario:
                 downtime=self.downtime,
                 crash_leader_bias=self.crash_leader_bias,
                 pause_probability=self.pause_probability,
+                isolate_probability=self.isolate_probability,
             )
         return injector, None
 
@@ -166,6 +177,21 @@ SCENARIOS: dict[str, Scenario] = {
             faults="random",
             crash_leader_bias=0.5,
             parallel_apply_workers=4,
+        ),
+        Scenario(
+            name="read-lease",
+            description=(
+                "read-heavy lease-mode reads with sticky client routing and "
+                "leader isolation (stale-leader lease hazard)"
+            ),
+            faults="random",
+            read_fraction=0.6,
+            read_mode="lease",
+            read_routing="sticky",
+            clients=3,
+            crash_leader_bias=0.8,
+            isolate_probability=0.5,
+            downtime=3.0,
         ),
     )
 }

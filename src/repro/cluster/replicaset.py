@@ -20,6 +20,7 @@ from repro.raft.config import RaftConfig
 from repro.raft.proxy import router_for
 from repro.raft.quorum import QuorumPolicy
 from repro.cluster.topology import ReplicaSetSpec
+from repro.sim.clock import draw_skew
 from repro.sim.host import Host
 from repro.sim.loop import EventLoop
 from repro.sim.network import LogNormalLatency, Network, NetworkSpec
@@ -73,6 +74,13 @@ class MyRaftReplicaset:
         self.services: dict[str, Any] = {}
         for member in self.membership.members:
             host = Host(self.loop, self.net, member.name, member.region, tracer=self.tracer)
+            # Per-host wall clocks drift within the configured bound; the
+            # child stream keeps every existing seed's draw order intact.
+            host.clock = draw_skew(
+                self.loop,
+                self.rng.child(f"clock-skew/{member.name}"),
+                self.raft_config.clock_drift_bound,
+            )
             if member.has_storage_engine:
                 service: Any = MyRaftServer(
                     host=host,

@@ -16,6 +16,7 @@ from repro.experiments.mock_election_ablation import run_mock_election_ablation
 from repro.experiments.parallel_apply import run_parallel_apply
 from repro.experiments.proxy_bandwidth import run_proxy_bandwidth
 from repro.experiments.quorum_fixer_drill import run_quorum_fixer_drill
+from repro.experiments.read_path import run_read_path
 from repro.experiments.repl_hotpath import run_repl_hotpath
 from repro.experiments.rollout_drill import run_rollout_drill
 from repro.experiments.snapshot_bootstrap import run_snapshot_bootstrap
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "snapshot-bootstrap": run_snapshot_bootstrap,
     "repl-hotpath": run_repl_hotpath,
     "parallel-apply": run_parallel_apply,
+    "read-path": run_read_path,
 }
 
 

@@ -187,7 +187,20 @@ class Applier:
     def _check_catchup(self) -> None:
         if not self._catchup_waiters:
             return
-        drained = self.pipeline.depth == 0 and not self._pending
+        # ``cursor`` advances the moment an entry is *read*, but the entry
+        # only becomes visible to the depth/_pending checks once it is
+        # executing (_building) or dispatched (_pending). In the windows
+        # between — the serial loop's timing yields, the MTS coordinator's
+        # barrier/admission/worker waits — the coordinator still holds the
+        # transaction in its hands, so the submit cursor lagging the read
+        # cursor means "not drained".
+        drained = (
+            self.pipeline.depth == 0
+            and not self._pending
+            and self._building is None
+        )
+        if self.workers > 1:
+            drained = drained and self._submit_cursor == self.cursor
         remaining = []
         for index, future in self._catchup_waiters:
             if self.cursor > index and drained:

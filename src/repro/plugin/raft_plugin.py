@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.control.discovery import ServiceDiscovery
-from repro.errors import NotLeaderError
+from repro.errors import LogTruncatedError, NotLeaderError, SimTimeoutError
 from repro.mysql.applier import Applier
 from repro.mysql.events import ConfigChangeEvent, NoOpEvent, RotateEvent, Transaction
 from repro.mysql.logical_clock import LogicalClock, writeset_hashes
@@ -36,7 +36,7 @@ from repro.raft.membership import MembershipConfig
 from repro.raft.node import RaftNode
 from repro.raft.quorum import QuorumPolicy
 from repro.raft.types import OpId
-from repro.sim.coro import SimFuture
+from repro.sim.coro import SimFuture, with_timeout
 from repro.sim.host import Host
 from repro.sim.rng import RngStream
 from repro.snapshot import SnapshotImage, SnapshotManager, build_image, seed_engine_namespaces
@@ -302,6 +302,17 @@ class MyRaftServer:
                 future.fail_if_pending(
                     NotLeaderError(f"entry {waited_opid} truncated from the log")
                 )
+            if self.applier is not None and self.applier.cursor > cut:
+                # The applier has already read (and possibly prepared) a
+                # removed entry, and its cursor never rewinds on its own:
+                # left alone it would skip straight past whatever the new
+                # leader puts at these indices and the engine would
+                # silently diverge. Restart the apply runtime from the
+                # last transaction committed in the engine (§3.3 step 5)
+                # — the same recipe a demotion uses — rolling back any
+                # prepared-but-uncommitted work in flight.
+                self._teardown_runtime()
+                self._build_replica_runtime()
         self._trace("myraft.log_truncated", count=len(removed))
 
     def _on_elected_leader(self, term: int, noop_opid: OpId) -> None:
@@ -437,11 +448,86 @@ class MyRaftServer:
         )
 
     def submit_read(self, table: str, pk):
-        """Run one linearizable read (commit-pipeline read barrier);
-        returns a Process resolving to ``(opid, row | None)``."""
+        """Run one linearizable read; returns a Process resolving to
+        ``(opid | None, row | None)``.
+
+        ``read_mode == "barrier"`` keeps the legacy commit-pipeline read
+        barrier (an empty marker transaction through consensus). The
+        ``repro.reads`` modes instead obtain a ReadIndex — via a quorum
+        probe round, a valid leader lease, or a remote fetch from the
+        leader — wait for the local engine to apply through it, and serve
+        from the local engine with no log append.
+        """
+        if self.raft_config.read_mode == "barrier":
+            return self.host.spawn(
+                self.mysql.client_read(table, pk), label=f"{self.host.name}:read"
+            )
         return self.host.spawn(
-            self.mysql.client_read(table, pk), label=f"{self.host.name}:read"
+            self._consistent_read(table, pk), label=f"{self.host.name}:read"
         )
+
+    def _consistent_read(self, table: str, pk):
+        """ReadIndex-style read (§repro.reads): barrier on the consensus
+        commit frontier, wait for apply, serve locally."""
+        timeout = self.raft_config.read_barrier_timeout
+        read_index = yield with_timeout(
+            self.host.loop, self.node.request_read_index(), timeout
+        )
+        yield from self._wait_applied(read_index, timeout)
+        monitor = self.node.monitor
+        if monitor is not None and hasattr(monitor, "on_consistent_read"):
+            monitor.on_consistent_read(
+                self.node,
+                self.raft_config.read_mode,
+                read_index,
+                self.mysql.engine.last_committed_opid.index,
+            )
+        self.mysql.reads_served += 1
+        row = self.mysql.engine.table(table).get(pk)
+        return None, (dict(row) if row is not None else None)
+
+    def _applied_through(self, read_index: int) -> bool:
+        """True once the engine state covers ``read_index``: every *data*
+        entry at/below it is engine-committed. No-ops, config changes and
+        rotations never move the engine watermark, so a gap between the
+        watermark and the read index is fine as long as it holds no data."""
+        applied = self.mysql.engine.last_committed_opid.index
+        if applied >= read_index:
+            return True
+        for index in range(applied + 1, read_index + 1):
+            try:
+                entry = self.storage.entry(index)
+            except LogTruncatedError:
+                continue  # compacted below the snapshot base: applied by construction
+            if entry is None or entry.kind == ENTRY_KIND_DATA:
+                return False
+        return True
+
+    def _wait_applied(self, read_index: int, timeout: float):
+        """Block until the engine has applied every data entry through
+        ``read_index``. ``_applied_through`` is re-checked after every wait:
+        the applier can be torn down and rebuilt underneath us (demotion),
+        in which case the stale catch-up future never resolves and the
+        read times out instead of serving early."""
+        deadline = self.host.loop.now + timeout
+        while not self._applied_through(read_index):
+            if self.host.loop.now >= deadline:
+                raise SimTimeoutError(
+                    f"{self.host.name}: apply wait for read index {read_index} timed out"
+                )
+            applier = self.applier
+            if applier is not None:
+                yield with_timeout(
+                    self.host.loop,
+                    applier.catch_up_to(read_index),
+                    deadline - self.host.loop.now,
+                )
+            else:
+                # Primary: there is no applier — the commit pipeline moves
+                # the engine watermark itself, trailing the consensus
+                # marker only by the engine-commit stage. Poll at
+                # sub-millisecond grain.
+                yield 0.0005
 
     def stop_sql_thread(self) -> None:
         """STOP REPLICA SQL_THREAD: halt apply while the relay log keeps

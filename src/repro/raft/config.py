@@ -88,6 +88,29 @@ class RaftConfig:
     # binlog_transaction_dependency_history_size).
     writeset_history_size: int = 2000
 
+    # -- consistent reads (repro.reads) --------------------------------------
+    # barrier     — legacy commit-pipeline read barrier (a consensus round
+    #               per read, via an empty marker transaction);
+    # read_index  — leader captures commit_index, confirms leadership with
+    #               one batched quorum probe round, serves locally;
+    # lease       — quorum probe acks extend a clock-bound leader lease;
+    #               a valid lease serves reads with zero network rounds;
+    # follower    — non-leaders fetch the leader's ReadIndex (optionally
+    #               via the §4.2 proxy path), wait for their applier, and
+    #               serve locally.
+    read_mode: str = "barrier"
+    # Lease window credited per quorum-acked probe round, measured from
+    # the round's send time. Safety: the drift-padded window must end
+    # before a natural election can complete (see validate()).
+    lease_duration: float = 1.2
+    # Assumed bound on per-host clock rate drift (fractional). The sim
+    # draws every host's true drift within this bound (repro.sim.clock);
+    # lease arithmetic pads durations by it on both sides.
+    clock_drift_bound: float = 5e-4
+    # Client-visible cap on one consistent-read barrier (quorum round or
+    # remote ReadIndex fetch + apply wait).
+    read_barrier_timeout: float = 2.0
+
     # -- witness behaviour (§2.2, §4.1) ------------------------------------------
     # A witness elected leader transfers leadership to a caught-up
     # storage-engine member after this settle delay.
@@ -113,3 +136,22 @@ class RaftConfig:
             raise ValueError("parallel_apply_workers must be >= 1")
         if self.writeset_history_size < 1:
             raise ValueError("writeset_history_size must be >= 1")
+        if self.read_mode not in ("barrier", "read_index", "lease", "follower"):
+            raise ValueError(f"unknown read_mode {self.read_mode!r}")
+        if not 0.0 <= self.clock_drift_bound < 0.01:
+            raise ValueError("clock_drift_bound must be in [0, 0.01)")
+        if self.lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        if self.read_barrier_timeout <= 0:
+            raise ValueError("read_barrier_timeout must be positive")
+        if self.read_mode == "lease":
+            # Lease safety precondition: every lease — measured on any
+            # clock within the drift bound — expires before a voter can
+            # have been silent long enough to grant a destabilizing vote
+            # (leader stickiness window = election_timeout_base()).
+            padded = self.lease_duration * (1.0 + 2.0 * self.clock_drift_bound)
+            if padded >= self.election_timeout_base():
+                raise ValueError(
+                    "lease_duration (drift-padded) must stay below "
+                    "election_timeout_base() for lease reads to be safe"
+                )

@@ -232,10 +232,82 @@ class VoteRetraction:
 @dataclass(frozen=True)
 class TimeoutNowRequest:
     """Leader → transfer target: start a real election immediately (the
-    TransferLeadership trigger)."""
+    TransferLeadership trigger).
+
+    ``lease_holdoff`` ships the worst-case remaining window of the old
+    leader's ceded read lease (``repro.reads``): the new leader must not
+    serve lease reads until that many seconds have passed on its own
+    clock (padded by its drift bound), so a transferred leadership never
+    overlaps the predecessor's lease."""
 
     term: int
     leader: str
+    lease_holdoff: float = 0.0
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ReadProbeRequest:
+    """Leader → voter: leadership-confirmation probe (``repro.reads``).
+
+    One probe round with a data quorum of acks confirms the sender was
+    still the term-``term`` leader when the probes were sent — the
+    ReadIndex barrier. In lease mode the same quorum extends the leader's
+    clock-bound lease. ``round_id`` ties acks to one batch of waiting
+    reads."""
+
+    term: int
+    leader: str
+    round_id: int
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ReadProbeResponse:
+    """Voter → leader: probe ack. ``success`` is False when the voter has
+    moved to a newer term (carried in ``term``), which demotes the
+    sender exactly like a rejected AppendEntries."""
+
+    term: int
+    voter: str
+    round_id: int
+    success: bool
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ReadIndexRequest:
+    """Follower/learner → leader: fetch a confirmed ReadIndex so the
+    requester can serve a read locally once its applier reaches it.
+
+    ``final_dest`` is the leader; when ``route`` is non-empty the request
+    travels through the in-region proxy path (§4.2) — each hop pops
+    itself off ``route`` — so follower reads reuse the same cross-region
+    topology as replication fan-in. The response returns directly (it is
+    header-sized either way)."""
+
+    term: int
+    requester: str
+    request_id: int
+    final_dest: str = ""
+    route: tuple = ()  # tuple[str, ...]
+
+    wire_size: int = RPC_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ReadIndexResponse:
+    """Leader → requester: the confirmed ReadIndex, or a refusal when the
+    addressee is not (or no longer) the leader."""
+
+    term: int
+    leader: str
+    request_id: int
+    read_index: int
+    success: bool = True
 
     wire_size: int = RPC_HEADER_BYTES
 

@@ -46,6 +46,10 @@ from repro.raft.messages import (
     InstallSnapshotResponse,
     MockElectionRequest,
     MockElectionResult,
+    ReadIndexRequest,
+    ReadIndexResponse,
+    ReadProbeRequest,
+    ReadProbeResponse,
     RequestVoteRequest,
     RequestVoteResponse,
     TimeoutNowRequest,
@@ -54,6 +58,7 @@ from repro.raft.messages import (
 from repro.raft.quorum import ElectionContext, QuorumPolicy
 from repro.raft.replication import LeaderState, VoteTally
 from repro.raft.types import MemberInfo, OpId, RaftRole
+from repro.reads import LeaderLease, ReadManager
 from repro.sim.coro import SimFuture
 from repro.sim.host import Host
 from repro.sim.rng import RngStream
@@ -136,6 +141,11 @@ class RaftNode:
             "snapshots_shipped": 0,
             "snapshot_installs": 0,
             "replication_rounds": 0,
+            "read_probe_rounds": 0,
+            "read_rounds_confirmed": 0,
+            "read_index_forwards": 0,
+            "read_index_fetches": 0,
+            "lease_reads": 0,
         }
 
     # ------------------------------------------------------------------ state
@@ -163,6 +173,15 @@ class RaftNode:
         self._pending_proxy: list[dict] = []
         self._last_leader_contact = self.host.loop.now
         self._quorum_override: QuorumPolicy | None = None
+        # Consistent-read machinery (repro.reads). All volatile: a crash
+        # wipes the lease and every pending barrier, so a restarted
+        # leader re-earns quorum confirmation before serving.
+        self.reads = ReadManager(self)
+        self.lease: LeaderLease | None = None
+        self._lease_holdoff_hint = 0.0
+        self._read_fetch_waiters: list[SimFuture] = []
+        self._read_fetch_inflight = False
+        self._read_fetch_id = 0
         if self._is_voter:
             self._reset_election_timer()
 
@@ -307,6 +326,12 @@ class RaftNode:
         self._pending_proposals.clear()
         if self._pending_transfer is not None:
             self._pending_transfer.fail_if_pending(RaftError(f"{self.name} crashed"))
+        crash_error = RaftError(f"{self.name} crashed")
+        self.reads.fail_all(crash_error)
+        waiters, self._read_fetch_waiters = self._read_fetch_waiters, []
+        self._read_fetch_inflight = False
+        for future in waiters:
+            future.fail_if_pending(crash_error)
 
     def on_restart(self) -> None:
         self._init_volatile()
@@ -609,6 +634,12 @@ class RaftNode:
             self.last_opid.index,
             self.host.loop.now,
         )
+        if self.config.read_mode == "lease":
+            self.lease = LeaderLease(
+                self.host.clock, self.config.lease_duration, self.config.clock_drift_bound
+            )
+            self.lease.apply_holdoff(self._lease_holdoff_hint)
+        self._lease_holdoff_hint = 0.0
         if self.monitor is not None:
             self.monitor.on_leader_elected(self, granted)
         # §3.3 step 1: assert leadership with a no-op entry; committing it
@@ -661,6 +692,10 @@ class RaftNode:
         """Clear leader-side volatile state without role-change hooks."""
         self.leader_state = None
         self._vote_tally = None
+        # Dropping the lease stops lease-serving instantly; pending read
+        # barriers can no longer be confirmed and fail cleanly.
+        self.lease = None
+        self.reads.fail_all(NotLeaderError(f"{self.name} lost leadership"))
         if self.snapshots is not None:
             self.snapshots.on_step_down()
 
@@ -782,6 +817,10 @@ class RaftNode:
         # stickiness window open so it denies disruptive vote requests.
         self._last_leader_contact = self.host.loop.now
         self._replicate_all(force=True)
+        if self.config.read_mode != "barrier":
+            # Lease mode: every tick earns a quorum round so the lease
+            # stays continuously valid; all modes: re-send stalled probes.
+            self.reads.keepalive()
         self._schedule_heartbeat()
 
     def _replicate_all(self, force: bool) -> None:
@@ -1565,6 +1604,11 @@ class RaftNode:
         # Quiesce: stop accepting new writes so the tail stops moving.
         # This is where graceful-promotion client downtime begins (§4.3).
         self.hooks.on_transfer_quiesce()
+        if self.lease is not None:
+            # Cede the lease now: from here on the target may become
+            # leader (stickiness is bypassed), so lease reads must stop.
+            # expires_at is kept so TimeoutNow can size the holdoff.
+            self.lease.cede()
         self.host.call_after(
             self.config.transfer_catchup_timeout,
             self._transfer_catchup_expired,
@@ -1598,7 +1642,13 @@ class RaftNode:
             return
         if self.leader_state.match_of(acked_peer) >= self.last_opid.index:
             self._trace("raft.timeout_now_sent", target=acked_peer)
-            self.host.send(acked_peer, TimeoutNowRequest(term=self.current_term, leader=self.name))
+            holdoff = self.lease.remaining() if self.lease is not None else 0.0
+            self.host.send(
+                acked_peer,
+                TimeoutNowRequest(
+                    term=self.current_term, leader=self.name, lease_holdoff=holdoff
+                ),
+            )
             self._finish_transfer(True, "timeout-now sent")
 
     def _finish_transfer(self, ok: bool, reason: str) -> None:
@@ -1610,6 +1660,10 @@ class RaftNode:
         if not ok and self.is_leader and was_quiesced:
             # The transfer failed but we are still the leader: resume.
             self.hooks.on_transfer_unquiesce()
+            if self.lease is not None:
+                # Safe to serve again: leadership was never lost and probe
+                # rounds kept extending the window during the quiesce.
+                self.lease.restore()
         if future is not None:
             future.resolve_if_pending(ok)
 
@@ -1617,7 +1671,184 @@ class RaftNode:
         if request.term < self.current_term or not self._is_voter:
             return
         self._trace("raft.timeout_now_received", from_leader=src)
+        # Remember the predecessor's ceded-lease window: if we win this
+        # election we must not serve lease reads until it has expired.
+        self._lease_holdoff_hint = max(self._lease_holdoff_hint, request.lease_holdoff)
         self.start_election(is_transfer=True)
+
+    # ---------------------------------------------- consistent reads (repro.reads)
+
+    def request_read_index(self) -> SimFuture:
+        """Entry point for consistent reads: a future resolving to a
+        quorum-confirmed read index, wherever this node sits in the ring.
+
+        - Leader with a valid lease: resolved immediately from
+          ``commit_index`` — zero network rounds.
+        - Leader without a (valid) lease: joins the next batched
+          ReadIndex probe round.
+        - Follower/learner: fetches the leader's ReadIndex over one
+          (batched, possibly proxied) RPC.
+        """
+        if self.is_leader:
+            if self.lease is not None and self.lease.valid():
+                self.metrics["lease_reads"] += 1
+                future = SimFuture(self.host.loop, label=f"lease-read:{self.name}")
+                future.resolve(self.commit_index)
+                return future
+            return self.reads.acquire_read_index()
+        return self._fetch_remote_read_index()
+
+    def _fetch_remote_read_index(self) -> SimFuture:
+        future = SimFuture(self.host.loop, label=f"read-fetch:{self.name}")
+        if self.leader_id is None or self.leader_id == self.name:
+            future.fail(NotLeaderError(f"{self.name} knows no leader"))
+            return future
+        self._read_fetch_waiters.append(future)
+        # One fetch in flight per node: concurrent local reads batch onto
+        # it, mirroring the leader-side round batching.
+        if not self._read_fetch_inflight:
+            self._read_fetch_id += 1
+            self._read_fetch_inflight = True
+            self._send_read_fetch(self._read_fetch_id)
+        return future
+
+    def _send_read_fetch(self, request_id: int) -> None:
+        if not self._read_fetch_inflight or request_id != self._read_fetch_id:
+            return
+        self._read_fetch_waiters = [w for w in self._read_fetch_waiters if not w.done()]
+        leader = self.leader_id
+        if not self._read_fetch_waiters or leader is None or leader == self.name:
+            self._read_fetch_inflight = False
+            waiters, self._read_fetch_waiters = self._read_fetch_waiters, []
+            for waiter in waiters:
+                waiter.fail_if_pending(NotLeaderError(f"{self.name} knows no leader"))
+            return
+        self.metrics["read_index_fetches"] += 1
+        hops = self._read_fetch_hops(leader)
+        request = ReadIndexRequest(
+            term=self.current_term,
+            requester=self.name,
+            request_id=request_id,
+            final_dest=leader,
+            route=tuple(hops[1:]),
+        )
+        self.host.send(hops[0] if hops else leader, request)
+        # Re-send while waiters remain (drops, leader change); the clients
+        # behind the waiters carry the overall timeout.
+        self.host.call_after(
+            self.config.append_retry_interval, self._send_read_fetch, request_id
+        )
+
+    def _read_fetch_hops(self, leader: str) -> list[str]:
+        """Proxy hops toward the leader (§4.2 fan-in): the same per-region
+        proxy replication fans out through, when proxying is configured."""
+        if not self.config.enable_proxying or self.router is None:
+            return []
+        chain = self.router.chain_for(leader, self.name, self.membership)
+        if not chain:
+            return []
+        return [hop for hop in chain if hop != self.name]
+
+    def _handle_read_probe(self, src: str, request: ReadProbeRequest) -> None:
+        ok = self._accept_leader_authority(request.term, request.leader)
+        self.host.send(
+            src,
+            ReadProbeResponse(
+                term=self.current_term,
+                voter=self.name,
+                round_id=request.round_id,
+                success=ok,
+            ),
+        )
+
+    def _handle_read_probe_response(self, src: str, response: ReadProbeResponse) -> None:
+        if response.term > self.current_term:
+            self._step_down(response.term, leader=None)
+            return
+        if response.success:
+            self.reads.on_ack(response.voter, response.round_id, response.term)
+
+    def _handle_read_index_request(self, src: str, request: ReadIndexRequest) -> None:
+        if request.final_dest and request.final_dest != self.name:
+            # We are a proxy hop: relay toward the leader.
+            self.metrics["read_index_forwards"] += 1
+            next_hop = request.route[0] if request.route else request.final_dest
+            self.host.send(
+                next_hop,
+                ReadIndexRequest(
+                    term=request.term,
+                    requester=request.requester,
+                    request_id=request.request_id,
+                    final_dest=request.final_dest,
+                    route=request.route[1:],
+                ),
+            )
+            return
+        if not self.is_leader:
+            self.host.send(
+                request.requester,
+                ReadIndexResponse(
+                    term=self.current_term,
+                    leader=self.name,
+                    request_id=request.request_id,
+                    read_index=0,
+                    success=False,
+                ),
+            )
+            return
+        if self.lease is not None and self.lease.valid():
+            # A valid lease answers the fetch without a probe round.
+            self.host.send(
+                request.requester,
+                ReadIndexResponse(
+                    term=self.current_term,
+                    leader=self.name,
+                    request_id=request.request_id,
+                    read_index=self.commit_index,
+                ),
+            )
+            return
+        future = self.reads.acquire_read_index()
+        requester, request_id = request.requester, request.request_id
+
+        def respond(done: SimFuture) -> None:
+            if not self.host.alive:
+                return
+            if done.exception() is not None:
+                response = ReadIndexResponse(
+                    term=self.current_term,
+                    leader=self.name,
+                    request_id=request_id,
+                    read_index=0,
+                    success=False,
+                )
+            else:
+                response = ReadIndexResponse(
+                    term=self.current_term,
+                    leader=self.name,
+                    request_id=request_id,
+                    read_index=done.result(),
+                )
+            self.host.send(requester, response)
+
+        future.add_done_callback(respond)
+
+    def _handle_read_index_response(self, src: str, response: ReadIndexResponse) -> None:
+        if response.term > self.current_term:
+            self._step_down(
+                response.term, leader=response.leader if response.success else None
+            )
+        if not self._read_fetch_inflight or response.request_id != self._read_fetch_id:
+            return
+        self._read_fetch_inflight = False
+        waiters, self._read_fetch_waiters = self._read_fetch_waiters, []
+        for waiter in waiters:
+            if response.success:
+                waiter.resolve_if_pending(response.read_index)
+            else:
+                waiter.fail_if_pending(
+                    NotLeaderError(f"{response.leader} is not (or no longer) leader")
+                )
 
     # --------------------------------------------------------- quorum fixer
 
@@ -1653,6 +1884,14 @@ class RaftNode:
             self._handle_mock_election_request(src, message)
         elif isinstance(message, MockElectionResult):
             self._handle_mock_election_result(src, message)
+        elif isinstance(message, ReadProbeRequest):
+            self._handle_read_probe(src, message)
+        elif isinstance(message, ReadProbeResponse):
+            self._handle_read_probe_response(src, message)
+        elif isinstance(message, ReadIndexRequest):
+            self._handle_read_index_request(src, message)
+        elif isinstance(message, ReadIndexResponse):
+            self._handle_read_index_response(src, message)
         elif isinstance(message, InstallSnapshotRequest):
             self._handle_install_snapshot(src, message)
         elif isinstance(message, InstallSnapshotChunk):

@@ -1,0 +1,27 @@
+"""Consistent-read subsystem: ReadIndex, leader leases, follower reads.
+
+Three escalating read modes, A/B-selectable via
+:attr:`repro.raft.config.RaftConfig.read_mode`:
+
+- ``barrier`` — the legacy commit-pipeline read barrier (a full consensus
+  round per read); lives in ``repro.mysql.server.client_read``.
+- ``read_index`` — the leader captures its commit index, confirms it is
+  still leader with one heartbeat-style quorum round, then serves every
+  read that was waiting on that round locally. Concurrent reads batch:
+  one round amortizes many barriers.
+- ``lease`` — quorum probe acks extend a clock-bound leader lease; while
+  the lease is valid the leader serves reads with *zero* network rounds.
+  Safe under bounded clock drift (``repro.sim.clock``) because the lease
+  window padded by the drift bound is strictly shorter than the follower
+  election-stickiness window, and leadership transfers cede the lease
+  explicitly.
+- ``follower`` — a follower (or learner) fetches the leader's ReadIndex,
+  waits for its local applier to reach it, and serves locally — the
+  read-side twin of §4.2 proxying: cross-region read traffic collapses
+  to one small RPC per batch.
+"""
+
+from repro.reads.lease import LeaderLease
+from repro.reads.manager import ReadManager
+
+__all__ = ["LeaderLease", "ReadManager"]

@@ -445,6 +445,15 @@ class SemiSyncServer:
             self.mysql.client_write(table, rows), label=f"{self.host.name}:write"
         )
 
+    def submit_read(self, table: str, pk):
+        """Run one read-your-writes read on the primary (the prior setup's
+        strongest option: a commit-pipeline barrier, no quorum confirm —
+        which is why MyRaft's §6 read comparison exists). Returns a
+        Process resolving to ``(opid, row | None)``."""
+        return self.host.spawn(
+            self.mysql.client_read(table, pk), label=f"{self.host.name}:read"
+        )
+
     def status(self) -> dict[str, Any]:
         return {
             **self.mysql.status(),

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.errors import HostDownError, SimError
+from repro.sim.clock import SkewedClock
 from repro.sim.coro import Process, SimFuture
 from repro.sim.loop import EventLoop, Timer
 from repro.sim.network import Network
@@ -69,6 +70,9 @@ class Host:
         self.tracer = tracer
         self.alive = True
         self.incarnation = 0
+        # Local wall clock. Defaults to a perfect clock; topologies that
+        # model drift (leader leases) install a seeded skewed clock.
+        self.clock = SkewedClock(loop)
         self.disk = DurableStore()
         self.service: Any = None
         self._timers: list[Timer] = []

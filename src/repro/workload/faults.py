@@ -97,6 +97,12 @@ class RandomFaultInjector:
     # of a crash (exercises stale-leader / lease-less read hazards).
     pause_probability: float = 0.0
     pause_stall: float | None = None  # defaults to ``downtime``
+    # Probability that an injected fault is a network isolation instead of
+    # a crash: the member stays alive — and keeps believing whatever it
+    # believed — but no packets flow. The canonical stale-leader-serving-
+    # reads hazard leases must survive. Drawn before pause_probability.
+    isolate_probability: float = 0.0
+    isolate_downtime: float | None = None  # defaults to ``downtime``
     injected: int = 0
     events: list = field(default_factory=list)
 
@@ -123,7 +129,17 @@ class RandomFaultInjector:
             if not host.alive:
                 continue
             self.injected += 1
-            if self.pause_probability > 0 and self.rng.bernoulli(self.pause_probability):
+            if self.isolate_probability > 0 and self.rng.bernoulli(self.isolate_probability):
+                gap = (
+                    self.isolate_downtime
+                    if self.isolate_downtime is not None
+                    else self.downtime
+                )
+                self.events.append(FaultEvent(loop.now, "isolate", target))
+                self.events.append(FaultEvent(loop.now + gap, "heal", target))
+                self.cluster.net.isolate(target)
+                loop.call_after(gap, self.cluster.net.heal, target)
+            elif self.pause_probability > 0 and self.rng.bernoulli(self.pause_probability):
                 stall = self.pause_stall if self.pause_stall is not None else self.downtime
                 self.events.append(FaultEvent(loop.now, "pause", target))
                 self.events.append(FaultEvent(loop.now + stall, "resume", target))

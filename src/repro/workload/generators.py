@@ -36,6 +36,14 @@ class WorkloadSpec:
     # deliberately, draws nothing from the RNG — existing seeds replay
     # byte-identically.
     read_fraction: float = 0.0
+    # Where clients send reads:
+    # - "primary":   always the current writable primary;
+    # - "sticky":    each client caches its first read target and keeps
+    #                using it (even across leadership changes — modeling
+    #                a stale routing cache) until a read fails;
+    # - "followers": each read picks a random live non-primary database
+    #                (the repro.reads follower/logtailer-read fan-out).
+    read_routing: str = "primary"
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -44,6 +52,8 @@ class WorkloadSpec:
             raise ReproError("rows_per_txn must be >= 1")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise ReproError("read_fraction must be in [0, 1]")
+        if self.read_routing not in ("primary", "sticky", "followers"):
+            raise ReproError(f"unknown read_routing {self.read_routing!r}")
 
     def sample_think(self, rng: RngStream) -> float:
         if self.think_time <= 0:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReadOnlyError, ReproError
+from repro.errors import MySQLError, RaftError, ReadOnlyError, ReproError, SimError
 from repro.metrics import LatencyHistogram, LatencySummary, ThroughputSeries, summarize
 from repro.sim.coro import spawn
 from repro.workload.generators import WorkloadSpec
@@ -24,6 +24,10 @@ class WorkloadResult:
     throughput: ThroughputSeries
     committed: int = 0
     errors: int = 0
+    # Linearizable-read accounting (reads also count toward committed /
+    # errors; these break out the read share for the read-path benches).
+    reads: int = 0
+    read_errors: int = 0
     # Replica apply lag (leader commit index minus replica engine
     # watermark, in log entries), sampled during the run: keys ``peak``,
     # ``final``, ``samples``. Empty when the cluster doesn't expose
@@ -58,6 +62,9 @@ class WorkloadRunner:
         self.history = history
         self._stop_at = 0.0
         self._txn_counter = 0
+        # read_routing="sticky": per-client cached read target, dropped on
+        # the first failed read (a stale routing cache being invalidated).
+        self._sticky_targets: dict[int, object] = {}
 
     def run(self, duration: float, warmup: float = 0.0) -> WorkloadResult:
         """Run the workload for ``duration`` simulated seconds (after an
@@ -92,7 +99,8 @@ class WorkloadRunner:
                 and rng.random() < self.spec.read_fraction
             )
             if is_read:
-                yield from self._one_read(client_id, primary, rng, measure_from)
+                target = self._read_target(client_id, primary, rng)
+                yield from self._one_read(client_id, target, rng, measure_from)
             else:
                 yield from self._one_write(client_id, primary, rng, measure_from)
             think = self.spec.sample_think(rng)
@@ -168,19 +176,43 @@ class WorkloadRunner:
             self.result.throughput.record(finished)
             self.result.committed += 1
 
-    def _one_read(self, client_id: int, primary, rng, measure_from: float):
+    def _read_target(self, client_id: int, primary, rng):
+        """Pick which service this client's read goes to (read_routing)."""
+        routing = self.spec.read_routing
+        if routing == "primary":
+            return primary
+        if routing == "sticky":
+            cached = self._sticky_targets.get(client_id)
+            if cached is not None and cached.host.alive:
+                return cached
+            self._sticky_targets[client_id] = primary
+            return primary
+        # "followers": uniform over live non-primary databases.
+        pool = [
+            s
+            for s in self.cluster.database_services()
+            if s.host.alive and s is not primary
+        ]
+        if not pool:
+            return primary
+        return pool[rng.randint(0, len(pool) - 1)]
+
+    def _one_read(self, client_id: int, target, rng, measure_from: float):
         loop = self.cluster.loop
         pk = rng.randint(0, self.spec.key_space - 1)
         op = None
         if self.history is not None:
             op = self.history.invoke(client_id, "read", (self.spec.table, pk))
         started = loop.now
+        self.result.reads += 1
         yield self.spec.client_latency.sample(rng)  # request flight
         try:
-            process = primary.submit_read(self.spec.table, pk)
+            process = target.submit_read(self.spec.table, pk)
             result = yield process
-        except Exception:  # noqa: BLE001 - demotion/crash mid-read
+        except (MySQLError, RaftError, SimError):  # demotion/crash/timeout mid-read
             self.result.errors += 1
+            self.result.read_errors += 1
+            self._sticky_targets.pop(client_id, None)
             if op is not None:
                 # A failed read constrains nothing either way.
                 self.history.fail(op, definite=True)

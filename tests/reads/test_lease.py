@@ -1,0 +1,74 @@
+"""LeaderLease unit tests: extend, expiry, cede/restore, holdoff."""
+
+from repro.reads.lease import LeaderLease
+from repro.sim.clock import SkewedClock
+from repro.sim.loop import EventLoop
+
+
+def _advance(loop: EventLoop, seconds: float) -> None:
+    loop.call_after(seconds, lambda: None)
+    loop.run_until(loop.now + seconds)
+
+
+def make_lease(duration: float = 1.0, drift_bound: float = 1e-3):
+    loop = EventLoop()
+    lease = LeaderLease(SkewedClock(loop), duration, drift_bound)
+    return loop, lease
+
+
+def test_fresh_lease_is_invalid():
+    _loop, lease = make_lease()
+    assert not lease.valid()
+    assert lease.remaining() == 0.0
+
+
+def test_extend_from_probe_send_time_pads_for_drift():
+    loop, lease = make_lease(duration=1.0, drift_bound=1e-3)
+    lease.extend(probe_sent_at=0.0)
+    assert lease.valid()
+    assert lease.expires_at == 1.0 * (1.0 - 2e-3)
+    # Validity ends strictly before the unpadded duration.
+    _advance(loop, 1.0)
+    assert not lease.valid()
+
+
+def test_extensions_are_monotonic():
+    _loop, lease = make_lease()
+    lease.extend(probe_sent_at=0.5)
+    newest = lease.expires_at
+    lease.extend(probe_sent_at=0.1)  # an older round must not shrink it
+    assert lease.expires_at == newest
+    assert lease.extensions == 1
+
+
+def test_cede_stops_serving_and_restore_resumes():
+    _loop, lease = make_lease()
+    lease.extend(probe_sent_at=0.0)
+    lease.cede()
+    assert not lease.valid()
+    assert lease.remaining() > 0.0  # still sizes the successor's holdoff
+    lease.restore()
+    assert lease.valid()
+
+
+def test_remaining_pads_by_drift_both_ways():
+    _loop, lease = make_lease(duration=1.0, drift_bound=1e-3)
+    lease.extend(probe_sent_at=0.0)
+    assert lease.remaining() == lease.expires_at * (1.0 + 2e-3)
+
+
+def test_apply_holdoff_blocks_until_predecessor_expiry():
+    loop, lease = make_lease(duration=1.0, drift_bound=0.0)
+    lease.apply_holdoff(0.4)
+    lease.extend(probe_sent_at=loop.now)
+    assert not lease.valid()  # extended, but inside the holdoff window
+    _advance(loop, 0.5)
+    lease.extend(probe_sent_at=loop.now)
+    assert lease.valid()
+
+
+def test_zero_holdoff_is_a_no_op():
+    _loop, lease = make_lease()
+    lease.apply_holdoff(0.0)
+    lease.extend(probe_sent_at=0.0)
+    assert lease.valid()

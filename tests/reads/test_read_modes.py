@@ -1,0 +1,104 @@
+"""Cluster-level consistent-read mode tests (repro.reads)."""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.raft.config import RaftConfig
+
+
+def small_spec():
+    return ReplicaSetSpec(
+        "rs-reads",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+
+
+def make_cluster(mode: str, seed: int = 3, **config_kwargs):
+    config = RaftConfig(read_mode=mode, **config_kwargs)
+    rs = MyRaftReplicaset(small_spec(), seed=seed, raft_config=config)
+    rs.bootstrap()
+    rs.write_and_run("kv", {1: {"id": 1, "v": "one"}}, seconds=2.0)
+    return rs
+
+
+def run_read(rs, service, table, pk, seconds=3.0):
+    process = service.submit_read(table, pk)
+    rs.run(seconds)
+    assert process.done() and not process.failed()
+    _opid, row = process.result()
+    return row
+
+
+def total_metric(rs, key):
+    return sum(s.node.metrics[key] for s in rs.services.values())
+
+
+@pytest.mark.parametrize("mode", ["barrier", "read_index", "lease"])
+def test_primary_read_returns_latest_value(mode):
+    rs = make_cluster(mode)
+    primary = rs.primary_service()
+    assert run_read(rs, primary, "kv", 1) == {"id": 1, "v": "one"}
+    assert run_read(rs, primary, "kv", 404) is None
+
+
+def test_follower_mode_serves_from_replica():
+    rs = make_cluster("follower")
+    replica = rs.server("region1-db1")
+    assert run_read(rs, replica, "kv", 1) == {"id": 1, "v": "one"}
+    assert total_metric(rs, "read_index_fetches") >= 1
+
+
+@pytest.mark.parametrize("mode", ["read_index", "lease", "follower"])
+def test_consistent_modes_append_nothing_to_the_log(mode):
+    rs = make_cluster(mode)
+    service = rs.server("region1-db1") if mode == "follower" else rs.primary_service()
+    before = rs.primary_service().node.last_opid.index
+    for _ in range(4):
+        run_read(rs, service, "kv", 1)
+    assert rs.primary_service().node.last_opid.index == before
+
+
+def test_barrier_mode_appends_one_entry_per_read():
+    rs = make_cluster("barrier")
+    primary = rs.primary_service()
+    before = primary.node.last_opid.index
+    for _ in range(3):
+        run_read(rs, primary, "kv", 1)
+    assert primary.node.last_opid.index == before + 3
+
+
+def test_read_index_rounds_are_batched():
+    rs = make_cluster("read_index")
+    primary = rs.primary_service()
+    rounds_before = total_metric(rs, "read_probe_rounds")
+    batch = [primary.submit_read("kv", 1) for _ in range(8)]
+    rs.run(3.0)
+    for process in batch:
+        assert process.done() and not process.failed()
+        assert process.result()[1] == {"id": 1, "v": "one"}
+    rounds = total_metric(rs, "read_probe_rounds") - rounds_before
+    # Concurrent reads share probe rounds: at most the "current + queued
+    # next" pair, never one round per read.
+    assert 1 <= rounds < 8
+
+
+def test_lease_serves_reads_without_probe_rounds():
+    rs = make_cluster("lease")
+    primary = rs.primary_service()
+    rs.run(2.0)  # heartbeat keepalives earn and extend the lease
+    assert primary.node.lease is not None and primary.node.lease.valid()
+    leased_before = total_metric(rs, "lease_reads")
+    rounds_before = total_metric(rs, "read_probe_rounds")
+    for _ in range(5):
+        assert run_read(rs, primary, "kv", 1, seconds=0.05) == {"id": 1, "v": "one"}
+    assert total_metric(rs, "lease_reads") - leased_before == 5
+    # Only heartbeat keepalive rounds in that window, not per-read rounds.
+    assert total_metric(rs, "read_probe_rounds") - rounds_before <= 2
+
+
+def test_lease_duration_must_stay_under_election_timeout():
+    with pytest.raises(Exception):
+        RaftConfig(read_mode="lease", lease_duration=10.0).validate()

@@ -1,0 +1,112 @@
+"""Reads in flight across leadership changes (the lease danger zone).
+
+Every read issued around a TransferLeadership or a leader crash must
+either fail cleanly or return the linearizable (latest committed) value —
+never the stale pre-write row.
+"""
+
+import pytest
+
+from repro.cluster import MyRaftReplicaset, RegionSpec, ReplicaSetSpec
+from repro.raft.config import RaftConfig
+
+LATEST = {"id": 1, "v": "v2"}
+
+
+def small_spec():
+    return ReplicaSetSpec(
+        "rs-failover",
+        (
+            RegionSpec("region0", databases=1, logtailers=2),
+            RegionSpec("region1", databases=1, logtailers=2),
+        ),
+    )
+
+
+def make_cluster(mode: str, seed: int):
+    rs = MyRaftReplicaset(
+        small_spec(), seed=seed, raft_config=RaftConfig(read_mode=mode)
+    )
+    rs.bootstrap()
+    rs.write_and_run("kv", {1: {"id": 1, "v": "v1"}}, seconds=2.0)
+    rs.write_and_run("kv", {1: LATEST}, seconds=2.0)
+    return rs
+
+
+def settle_outcomes(reads):
+    """Partition finished read processes into (rows_served, failures)."""
+    served, failed = [], 0
+    for process in reads:
+        if not process.done() or process.failed():
+            failed += 1
+            continue
+        _opid, row = process.result()
+        served.append(row)
+    return served, failed
+
+
+@pytest.mark.parametrize("mode", ["read_index", "lease"])
+def test_reads_in_flight_during_transfer(mode):
+    rs = make_cluster(mode, seed=5)
+    old_primary = rs.primary_service()
+    reads = [old_primary.submit_read("kv", 1) for _ in range(6)]
+    transfer = rs.transfer_leadership("region1-db1")
+    rs.run(10.0)
+    assert transfer.done() and not transfer.failed()
+    assert rs.primary_service().host.name == "region1-db1"
+    served, _failed = settle_outcomes(reads)
+    assert all(row == LATEST for row in served)
+    # The read path works from the new primary afterwards.
+    after = rs.primary_service().submit_read("kv", 1)
+    rs.run(3.0)
+    assert after.done() and not after.failed()
+    assert after.result()[1] == LATEST
+
+
+def test_transfer_cedes_lease_and_applies_holdoff():
+    rs = make_cluster("lease", seed=7)
+    old = rs.primary_service()
+    rs.run(2.0)
+    assert old.node.lease is not None and old.node.lease.valid()
+    transfer = rs.transfer_leadership("region1-db1")
+    rs.run(10.0)
+    assert transfer.done() and not transfer.failed()
+    new = rs.primary_service()
+    assert new.host.name == "region1-db1"
+    # The deposed leader no longer holds a lease at all; the successor
+    # started life with the predecessor's remaining window as a holdoff.
+    assert old.node.lease is None
+    assert new.node.lease is not None
+    assert new.node.lease.holdoff_until > float("-inf")
+
+
+@pytest.mark.parametrize("mode", ["read_index", "lease"])
+def test_reads_in_flight_during_leader_crash(mode):
+    rs = make_cluster(mode, seed=9)
+    old_primary = rs.primary_service()
+    reads = [old_primary.submit_read("kv", 1) for _ in range(6)]
+    rs.crash(old_primary.host.name)
+    rs.run(15.0)
+    new_primary = rs.primary_service()
+    assert new_primary is not None
+    assert new_primary.host.name != old_primary.host.name
+    served, _failed = settle_outcomes(reads)
+    assert all(row == LATEST for row in served)
+    after = new_primary.submit_read("kv", 1)
+    rs.run(3.0)
+    assert after.done() and not after.failed()
+    assert after.result()[1] == LATEST
+
+
+def test_crashed_leader_restarts_without_a_lease():
+    rs = make_cluster("lease", seed=11)
+    old_primary = rs.primary_service()
+    rs.run(2.0)
+    assert old_primary.node.lease is not None and old_primary.node.lease.valid()
+    rs.crash(old_primary.host.name)
+    rs.run(10.0)
+    rs.restart(old_primary.host.name)
+    rs.run(1.0)
+    # Volatile lease state: the restarted node rejoins as a follower with
+    # no lease until it wins an election and earns a quorum round.
+    assert old_primary.node.lease is None or not old_primary.node.lease.valid()

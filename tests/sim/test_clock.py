@@ -1,0 +1,57 @@
+"""SkewedClock / draw_skew: arithmetic, bounds, determinism."""
+
+from repro.sim.clock import SkewedClock, draw_skew
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngStream
+
+
+def test_default_clock_tracks_loop_time():
+    loop = EventLoop()
+    clock = SkewedClock(loop)
+    assert clock.now() == 0.0
+    loop.call_after(1.5, lambda: None)
+    loop.run_until(1.5)
+    assert clock.now() == loop.now
+
+
+def test_offset_and_drift_arithmetic():
+    loop = EventLoop()
+    clock = SkewedClock(loop, offset=0.02, drift=1e-3)
+    loop.call_after(10.0, lambda: None)
+    loop.run_until(10.0)
+    assert clock.now() == 0.02 + 10.0 * (1.0 + 1e-3)
+
+
+def test_draw_skew_respects_bounds():
+    loop = EventLoop()
+    rng = RngStream(3)
+    for name in ("a", "b", "c", "d", "e"):
+        clock = draw_skew(loop, rng.child(f"clock-skew/{name}"), 5e-4)
+        assert 0.0 <= clock.offset < 0.05
+        assert abs(clock.drift) <= 5e-4
+
+
+def test_draw_skew_zero_bound_means_zero_drift():
+    loop = EventLoop()
+    clock = draw_skew(loop, RngStream(9).child("clock-skew/x"), 0.0)
+    assert clock.drift == 0.0
+
+
+def test_draw_skew_is_deterministic_per_stream():
+    loop = EventLoop()
+    one = draw_skew(loop, RngStream(11).child("clock-skew/db1"), 5e-4)
+    two = draw_skew(loop, RngStream(11).child("clock-skew/db1"), 5e-4)
+    other = draw_skew(loop, RngStream(11).child("clock-skew/db2"), 5e-4)
+    assert (one.offset, one.drift) == (two.offset, two.drift)
+    assert (one.offset, one.drift) != (other.offset, other.drift)
+
+
+def test_pause_safe_pure_function_of_loop_time():
+    # A stop-the-world pause is just loop time advancing with no events:
+    # the skewed clock must jump by the same (rate-scaled) amount.
+    loop = EventLoop()
+    clock = SkewedClock(loop, offset=0.01, drift=2e-4)
+    before = clock.now()
+    loop.call_after(5.0, lambda: None)
+    loop.run_until(5.0)
+    assert clock.now() - before == 5.0 * (1.0 + 2e-4)
