@@ -1,0 +1,92 @@
+"""Write-path group commit bench (repro.experiments.write_path).
+
+Acceptance gates for the batched write path: driving the 3-region paper
+topology under a concurrent-writer backlog, the batched variant
+(proposal accumulation + ack-clocked in-flight windows + wire
+coalescing/compression) must commit >= 2x more transactions per
+replication round than the legacy per-proposal path on the WORST seed,
+with measurably fewer leader storage appends per txn and fewer
+cross-region bytes per txn — while the replicated data set and final
+engine state stay byte-identical across both modes and every seed.
+
+Two entry points:
+
+* ``python benchmarks/bench_write_path.py [--smoke] [--out FILE]`` runs
+  the A/B over the seed matrix, prints the report, writes
+  ``BENCH_write_path.json``, and exits non-zero if a gate fails (what
+  CI's perf-smoke step runs).
+* ``pytest benchmarks/bench_write_path.py`` runs the same thing under
+  pytest-benchmark (``WRITE_PATH_BURSTS`` scales the stream).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.write_path import WritePathResult, run_write_path
+
+WRITERS = int(os.environ.get("WRITE_PATH_WRITERS", "24"))
+BURSTS = int(os.environ.get("WRITE_PATH_BURSTS", "12"))
+SEEDS = (1, 2, 3)
+SMOKE_BURSTS = 4
+SMOKE_SEEDS = (1, 2)
+
+
+def check_gates(result: WritePathResult) -> None:
+    assert result.all_converged, "a run left members unconverged"
+    assert result.data_identical, "replicated data diverged across modes/seeds"
+    assert result.worst_txns_per_round_gain >= 2.0, (
+        f"txns per replication round only improved "
+        f"{result.worst_txns_per_round_gain:.2f}x on the worst seed"
+    )
+    assert result.worst_append_reduction > 1.0, (
+        f"storage appends/txn did not improve: "
+        f"{result.worst_append_reduction:.2f}x"
+    )
+    assert result.worst_xregion_reduction > 1.0, (
+        f"cross-region bytes/txn did not improve: "
+        f"{result.worst_xregion_reduction:.2f}x"
+    )
+
+
+def test_write_path(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_write_path(writers=WRITERS, bursts=BURSTS, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    report_printer(result.format_report())
+    check_gates(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small stream ({SMOKE_BURSTS} bursts, seeds {list(SMOKE_SEEDS)}) for CI",
+    )
+    parser.add_argument("--writers", type=int, default=None)
+    parser.add_argument("--bursts", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_write_path.json")
+    args = parser.parse_args(argv)
+
+    writers = args.writers if args.writers is not None else WRITERS
+    bursts = args.bursts if args.bursts is not None else (
+        SMOKE_BURSTS if args.smoke else BURSTS
+    )
+    seeds = SMOKE_SEEDS if args.smoke else SEEDS
+    result = run_write_path(writers=writers, bursts=bursts, seeds=seeds)
+    print(result.format_report())
+    payload = result.to_json()
+    payload["smoke"] = bool(args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    check_gates(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,7 @@ def run_once(
             scenario.topology(),
             seed=seed,
             raft_config=scenario.raft_config(),
+            network_spec=scenario.network_spec(),
             trace_capacity=2048,
         )
         suite = InvariantSuite()

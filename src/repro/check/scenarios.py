@@ -19,11 +19,12 @@ seed count, not from any single long run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.cluster.replicaset import paper_network_spec
 from repro.cluster.topology import ReplicaSetSpec, paper_topology
 from repro.raft.config import RaftConfig
-from repro.sim.network import LogNormalLatency
+from repro.sim.network import LogNormalLatency, NetworkSpec
 from repro.workload.faults import FaultEvent, FaultSchedule, RandomFaultInjector
 from repro.workload.generators import WorkloadSpec
 
@@ -60,6 +61,11 @@ class Scenario:
     # leader — the hazard lease safety is about).
     read_mode: str = "barrier"
     read_routing: str = "primary"
+    # Batched write path (repro.raft.batching) + wire coalescing: the
+    # defaults exercise the batched path everywhere; legacy=True pins a
+    # scenario to the pre-batching behaviour.
+    legacy_write_path: bool = False
+    coalesce_wire: bool = False
 
     def topology(self) -> ReplicaSetSpec:
         return paper_topology(
@@ -70,7 +76,15 @@ class Scenario:
         return RaftConfig(
             parallel_apply_workers=self.parallel_apply_workers,
             read_mode=self.read_mode,
+            batched_write_path=not self.legacy_write_path,
+            suppress_redundant_heartbeats=not self.legacy_write_path,
         )
+
+    def network_spec(self) -> NetworkSpec:
+        spec = paper_network_spec()
+        if self.coalesce_wire:
+            spec = replace(spec, coalesce_wire=True, compress_cross_region=True)
+        return spec
 
     def workload_spec(self) -> WorkloadSpec:
         return WorkloadSpec(
@@ -177,6 +191,22 @@ SCENARIOS: dict[str, Scenario] = {
             faults="random",
             crash_leader_bias=0.5,
             parallel_apply_workers=4,
+        ),
+        Scenario(
+            name="write-path",
+            description=(
+                "high-concurrency writers through the batched write path "
+                "(proposal accumulation + coalesced/compressed wire) under "
+                "crash and isolation churn"
+            ),
+            faults="random",
+            clients=6,
+            think_time=0.02,
+            read_fraction=0.1,
+            coalesce_wire=True,
+            crash_leader_bias=0.7,
+            isolate_probability=0.3,
+            downtime=2.5,
         ),
         Scenario(
             name="read-lease",

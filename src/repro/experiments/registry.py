@@ -22,6 +22,7 @@ from repro.experiments.rollout_drill import run_rollout_drill
 from repro.experiments.snapshot_bootstrap import run_snapshot_bootstrap
 from repro.experiments.table1_roles import run_table1
 from repro.experiments.table2_downtime import run_table2
+from repro.experiments.write_path import run_write_path
 
 EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "table1": run_table1,
@@ -39,6 +40,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "repl-hotpath": run_repl_hotpath,
     "parallel-apply": run_parallel_apply,
     "read-path": run_read_path,
+    "write-path": run_write_path,
 }
 
 

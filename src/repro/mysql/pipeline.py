@@ -84,6 +84,11 @@ class CommitPipeline:
         self._commit_queue = AsyncQueue(host.loop, f"{name}.commit")
         self._in_flight: list[PipelineTxn] = []
         self.groups_flushed = 0
+        self.txns_flushed = 0
+        # Largest group one flush drained — with the batched Raft write
+        # path this is also the largest propose_batch handed down, so it
+        # bounds the entries-per-append a single group can produce.
+        self.max_group_size = 0
         self.txns_committed = 0
         self.stopped = False
         host.spawn(self._flush_worker(), label=f"{name}.flush")
@@ -132,6 +137,9 @@ class CommitPipeline:
                 self._abort_group(group, err)
                 continue
             self.groups_flushed += 1
+            self.txns_flushed += len(group)
+            if len(group) > self.max_group_size:
+                self.max_group_size = len(group)
             self._wait_queue.put((group, last_opid))
 
     def _wait_worker(self):

@@ -223,7 +223,7 @@ class MyRaftServer:
         clock = self._clock
         assert clock is not None
         clock.begin_group()
-        last: OpId | None = None
+        factories = []
         for txn in group:
             writeset = (
                 writeset_hashes(txn.engine_txn.changes)
@@ -231,12 +231,18 @@ class MyRaftServer:
                 else ()
             )
             last_committed, sequence = clock.stamp(writeset)
-            opid, _consensus = self.node.propose(
+            factories.append(
                 lambda assigned, t=txn, lc=last_committed, sq=sequence, ws=writeset: (
                     t.payload.with_commit_meta(assigned, lc, sq, ws).encode()
-                ),
-                ENTRY_KIND_DATA,
+                )
             )
+        # The whole flush group goes down as one batch: the binlog
+        # group-commit boundary survives into the Raft log (one multi-
+        # entry storage append, one replication fan-out under
+        # batched_write_path; per-txn proposes otherwise).
+        results = self.node.propose_batch(factories, ENTRY_KIND_DATA)
+        last: OpId | None = None
+        for txn, (opid, _consensus) in zip(group, results):
             txn.opid = opid
             if txn.engine_txn is not None:
                 txn.engine_txn.opid = opid

@@ -41,6 +41,37 @@ class RaftConfig:
     # Resend window: if a follower hasn't acked for this long, retry.
     append_retry_interval: float = 0.25
 
+    # -- batched write path (§3.4 group commit through Raft) ------------------
+    # Master A/B flag: proposal batching (one multi-entry storage append
+    # per flush group instead of one per transaction) plus ack-clocked
+    # pipelined replication with per-peer flow control. Off reproduces
+    # the legacy one-append-one-fanout-per-propose write path for A/B
+    # benches, exactly like shared_fanout_reads.
+    batched_write_path: bool = True
+    # Upper bound on entries accumulated into one batched storage append.
+    # A flush group larger than this is split across consecutive appends
+    # (group-commit boundaries are preserved: a batch never reorders).
+    propose_batch_max: int = 256
+    # Microbatch boundary: how long a staged proposal may wait for
+    # same-batch company before the accumulator flushes. 0 = same-tick
+    # only (the batch closes at the end of the current event-loop
+    # instant), so single-writer commit latency is unchanged.
+    propose_batch_wait: float = 0.0
+    # Flow control: entry-bearing AppendEntries a peer may have in flight
+    # (sent, unacked) before the leader stops pipelining new windows to
+    # it. Retries after append_retry_interval still go out regardless.
+    max_inflight_windows: int = 4
+    # Adaptive per-append window: starts at append_window_min entries,
+    # doubles on every cleanly acked window up to max_entries_per_append,
+    # and collapses back to the minimum on a rejection or retry timeout
+    # (slow-start, the Fast Raft / TCP-style flow-control shape).
+    append_window_min: int = 8
+    # Heartbeat suppression: skip the forced per-tick heartbeat to peers
+    # that already received traffic (entries or an earlier heartbeat)
+    # within the last heartbeat_interval. Pure de-duplication — the
+    # follower's failure detector is reset by any append.
+    suppress_redundant_heartbeats: bool = True
+
     # -- proxying (§4.2) -----------------------------------------------------
     enable_proxying: bool = False
     # How long a proxy waits for a missing entry to show up in its local
@@ -126,6 +157,16 @@ class RaftConfig:
             raise ValueError("missed_heartbeats_for_election must be >= 1")
         if self.max_entries_per_append < 1:
             raise ValueError("max_entries_per_append must be >= 1")
+        if self.propose_batch_max < 1:
+            raise ValueError("propose_batch_max must be >= 1")
+        if self.propose_batch_wait < 0:
+            raise ValueError("propose_batch_wait must be >= 0")
+        if self.max_inflight_windows < 1:
+            raise ValueError("max_inflight_windows must be >= 1")
+        if not 1 <= self.append_window_min <= self.max_entries_per_append:
+            raise ValueError(
+                "append_window_min must be in [1, max_entries_per_append]"
+            )
         if self.snapshot_chunk_bytes < 1:
             raise ValueError("snapshot_chunk_bytes must be >= 1")
         if self.snapshot_max_bytes_per_sec <= 0:

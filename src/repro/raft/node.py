@@ -27,6 +27,8 @@ from repro.errors import (
     NotLeaderError,
     RaftError,
 )
+from repro.metrics.histogram import LatencyHistogram
+from repro.raft.batching import ProposalAccumulator
 from repro.raft.config import RaftConfig
 from repro.raft.hooks import PayloadFactory, RaftHooks, TimingModel
 from repro.raft.log_cache import LogCache
@@ -56,7 +58,7 @@ from repro.raft.messages import (
     VoteRetraction,
 )
 from repro.raft.quorum import ElectionContext, QuorumPolicy
-from repro.raft.replication import LeaderState, VoteTally
+from repro.raft.replication import FlowControl, LeaderState, VoteTally
 from repro.raft.types import MemberInfo, OpId, RaftRole
 from repro.reads import LeaderLease, ReadManager
 from repro.sim.coro import SimFuture
@@ -146,7 +148,13 @@ class RaftNode:
             "read_index_forwards": 0,
             "read_index_fetches": 0,
             "lease_reads": 0,
+            "proposals": 0,
+            "proposal_batches": 0,
+            "inflight_hwm": 0,
         }
+        # Entry count of every entry-bearing AppendEntries sent while
+        # leader (write-path observability; heartbeats excluded).
+        self.append_sizes = LatencyHistogram("entries_per_append")
 
     # ------------------------------------------------------------------ state
 
@@ -167,6 +175,11 @@ class RaftNode:
         self._mock_tally: VoteTally | None = None
         self._mock_reply_to: str | None = None
         self._pending_proposals: dict[int, SimFuture] = {}
+        # Group-commit accumulator (§3.4 write-path batching); None
+        # reproduces the legacy one-append-per-propose path exactly.
+        self._accumulator: ProposalAccumulator | None = (
+            ProposalAccumulator(self) if self.config.batched_write_path else None
+        )
         self._pending_transfer: SimFuture | None = None
         self._transfer_target: str | None = None
         self._mock_completed_for_transfer = False
@@ -260,6 +273,13 @@ class RaftNode:
 
     @property
     def last_opid(self) -> OpId:
+        # Staged-but-unflushed proposals extend the logical tail so
+        # consecutive same-tick proposals number contiguously; flush
+        # barriers guarantee no RPC handler ever observes the gap.
+        if self._accumulator is not None:
+            staged = self._accumulator.last_staged_opid
+            if staged is not None:
+                return staged
         return self.storage.last_opid()
 
     @property
@@ -277,6 +297,10 @@ class RaftNode:
         return self._commit_opid_memo
 
     def _term_at(self, index: int) -> int | None:
+        if self._accumulator is not None:
+            staged_term = self._accumulator.staged_term_at(index)
+            if staged_term is not None:
+                return staged_term
         try:
             return self.storage.term_at(index)
         except LogTruncatedError:
@@ -303,6 +327,38 @@ class RaftNode:
             "commit_index": self.commit_index,
             "applied_index": applied,
             "apply_lag": max(0, self.commit_index - applied) if applied is not None else None,
+            "write_path": self._write_path_stats(),
+        }
+
+    def _write_path_stats(self) -> dict[str, Any]:
+        """Write-path observability: batching ratio, append-window shape,
+        pipelining depth, heartbeat suppression, and (when the network
+        layer coalesces) wire bytes this node saved."""
+        sizes = self.append_sizes
+        if sizes.count:
+            entries_per_append = {
+                "count": sizes.count,
+                "mean": sizes.mean(),
+                "p50": sizes.percentile(50),
+                "p99": sizes.percentile(99),
+                "max": sizes.max(),
+            }
+        else:
+            entries_per_append = {"count": 0}
+        peers = self.leader_state.peers.values() if self.leader_state is not None else ()
+        network = getattr(self.host, "network", None)
+        wire_saved = (
+            network.coalescing_stats(self.name)
+            if network is not None and hasattr(network, "coalescing_stats")
+            else {}
+        )
+        return {
+            "proposals": self.metrics["proposals"],
+            "proposal_batches": self.metrics["proposal_batches"],
+            "entries_per_append": entries_per_append,
+            "inflight_hwm": self.metrics["inflight_hwm"],
+            "heartbeats_suppressed": sum(p.suppressed_heartbeats for p in peers),
+            "wire_saved": wire_saved,
         }
 
     def status(self) -> dict[str, Any]:
@@ -321,6 +377,10 @@ class RaftNode:
     # ------------------------------------------------------- crash / restart
 
     def on_crash(self) -> None:
+        if self._accumulator is not None:
+            # Staged proposals were never durable; their futures fail with
+            # everything else pending.
+            self._accumulator.discard()
         for future in self._pending_proposals.values():
             future.fail_if_pending(RaftError(f"{self.name} crashed"))
         self._pending_proposals.clear()
@@ -627,12 +687,20 @@ class RaftNode:
         if self._election_timer is not None:
             self._election_timer.cancel()
             self._election_timer = None
+        flow = None
+        if self.config.batched_write_path:
+            flow = FlowControl(
+                max_inflight_windows=self.config.max_inflight_windows,
+                window_min=self.config.append_window_min,
+                window_max=self.config.max_entries_per_append,
+            )
         self.leader_state = LeaderState.fresh(
             self.current_term,
             self.name,
             self.membership,
             self.last_opid.index,
             self.host.loop.now,
+            flow=flow,
         )
         if self.config.read_mode == "lease":
             self.lease = LeaderLease(
@@ -731,10 +799,19 @@ class RaftNode:
 
         The future resolves with the OpId at consensus commit and fails
         with :class:`NotLeaderError` if leadership is lost first.
+
+        With ``batched_write_path`` the entry is *staged*: the OpId is
+        assigned immediately, but the storage append, self-ack, and
+        replication fan-out happen once per microbatch (group commit)
+        instead of once per proposal.
         """
         if not self.is_leader:
             raise NotLeaderError(f"{self.name} is {self.role.value}, not leader")
+        self.metrics["proposals"] += 1
+        if self._accumulator is not None:
+            return self._stage_proposal(payload_factory, kind, metadata)
         opid = self._append_as_leader(payload_factory, kind, metadata)
+        self.metrics["proposal_batches"] += 1
         future = SimFuture(self.host.loop, label=f"consensus:{opid}")
         self._pending_proposals[opid.index] = future
         # In a ring where the self-vote alone satisfies the quorum (single
@@ -742,6 +819,71 @@ class RaftNode:
         self._resolve_proposals(self.commit_index)
         self._replicate_all(force=False)
         return opid, future
+
+    def propose_batch(
+        self, payload_factories: list, kind: str = ENTRY_KIND_DATA
+    ) -> list[tuple[OpId, SimFuture]]:
+        """Leader-only: propose a whole group-commit flush group at once.
+
+        The binlog group-commit boundary survives into the Raft log: the
+        group's entries are contiguous, in submission order, and (up to
+        ``propose_batch_max``) land in one storage append. Returns one
+        (opid, consensus future) pair per factory. Without
+        ``batched_write_path`` this degenerates to per-entry proposes,
+        byte-identical to the legacy path."""
+        if not self.is_leader:
+            raise NotLeaderError(f"{self.name} is {self.role.value}, not leader")
+        if self._accumulator is None:
+            return [self.propose(factory, kind) for factory in payload_factories]
+        results = []
+        for factory in payload_factories:
+            self.metrics["proposals"] += 1
+            results.append(self._stage_proposal(factory, kind, ()))
+        return results
+
+    def _stage_proposal(
+        self, payload_factory: PayloadFactory, kind: str, metadata: tuple
+    ) -> tuple[OpId, SimFuture]:
+        opid = self._accumulator.stage(payload_factory, kind, metadata)
+        future = SimFuture(self.host.loop, label=f"consensus:{opid}")
+        self._pending_proposals[opid.index] = future
+        return opid, future
+
+    def _commit_staged(self, staged: list[LogEntry]) -> None:
+        """Accumulator flush: make the whole microbatch durable with one
+        storage append per ``propose_batch_max`` chunk, then self-ack and
+        run one replication fan-out for the batch."""
+        if not self.is_leader:
+            # Unreachable through the flush barriers (any step-down
+            # flushes first); kept as a safety net for embeddings that
+            # drive the node directly.
+            error = NotLeaderError(f"{self.name} lost leadership")
+            for entry in staged:
+                future = self._pending_proposals.pop(entry.opid.index, None)
+                if future is not None:
+                    future.fail_if_pending(error)
+            return
+        limit = self.config.propose_batch_max
+        for offset in range(0, len(staged), limit):
+            chunk = staged[offset : offset + limit]
+            self.storage.append(chunk)
+            self.metrics["proposal_batches"] += 1
+        for entry in staged:
+            self.cache.put(entry)
+        if self.leader_state is not None:
+            # Self-ack only now: like real group commit, entries count
+            # toward the quorum once the (simulated) WAL write finishes.
+            self.leader_state.last_log_index = staged[-1].opid.index
+        self.hooks.on_entries_appended(staged, from_leader=False)
+        self._maybe_advance_commit()
+        self._resolve_proposals(self.commit_index)
+        self._replicate_all(force=False)
+
+    def _flush_staged_proposals(self) -> None:
+        """Barrier: no RPC handler, heartbeat, or leadership action may
+        observe staged-but-unappended proposals."""
+        if self._accumulator is not None:
+            self._accumulator.flush()
 
     def _append_as_leader(
         self, payload_factory: PayloadFactory, kind: str, metadata: tuple = ()
@@ -813,6 +955,7 @@ class RaftNode:
     def _heartbeat_tick(self) -> None:
         if not self.is_leader:
             return
+        self._flush_staged_proposals()
         # The leader is its own evidence of a live leader: keep the
         # stickiness window open so it denies disruptive vote requests.
         self._last_leader_contact = self.host.loop.now
@@ -844,13 +987,23 @@ class RaftNode:
             return
         now = self.host.loop.now
         last = self.last_opid.index
-        windows: dict[int, tuple[OpId, tuple]] | None = (
+        suppress = (
+            self.config.heartbeat_interval
+            if self.config.suppress_redundant_heartbeats
+            else 0.0
+        )
+        windows: dict[tuple[int, int], tuple[OpId, tuple]] | None = (
             {} if self.config.shared_fanout_reads else None
         )
         for peer in peers:
             progress = state.ensure_peer(peer, now)
             start = progress.send_window_start(
-                last, self.config.append_retry_interval, now, force
+                last,
+                self.config.append_retry_interval,
+                now,
+                force,
+                heartbeat_suppress_window=suppress,
+                commit_index=self.commit_index,
             )
             if start is None:
                 continue
@@ -862,9 +1015,15 @@ class RaftNode:
         progress: Any,
         start: int,
         now: float,
-        windows: "dict[int, tuple[OpId, tuple]] | None",
+        windows: "dict[tuple[int, int], tuple[OpId, tuple]] | None",
     ) -> None:
-        window = windows.get(start) if windows is not None else None
+        # Adaptive flow control gives each peer its own entry budget, so
+        # shared windows memoize on (start, budget) — peers with equal
+        # cursors *and* budgets still share one storage read, and with
+        # flow control off every budget is the config cap (legacy keys).
+        limit = progress.send_budget(self.config.max_entries_per_append)
+        key = (start, limit)
+        window = windows.get(key) if windows is not None else None
         if window is None:
             prev_index = start - 1
             last = self.last_opid
@@ -885,18 +1044,17 @@ class RaftNode:
                 start = self.storage.first_index()
                 prev_index = start - 1
                 prev_term = self._term_at(prev_index) or 0
-                window = windows.get(start) if windows is not None else None
+                key = (start, limit)
+                window = windows.get(key) if windows is not None else None
             if window is None:
                 entries = tuple(
                     self._entries_for_send(
-                        start,
-                        self.config.max_entries_per_append,
-                        self.config.max_bytes_per_append,
+                        start, limit, self.config.max_bytes_per_append
                     )
                 )
                 window = (OpId(prev_term, prev_index), entries)
                 if windows is not None:
-                    windows[start] = window
+                    windows[key] = window
         prev_opid, entries = window
         request = AppendEntriesRequest(
             term=self.current_term,
@@ -908,7 +1066,12 @@ class RaftNode:
         )
         if entries:
             progress.last_sent_index = entries[-1].opid.index
+            progress.note_sent_window(entries[-1].opid.index)
+            if len(progress.inflight) > self.metrics["inflight_hwm"]:
+                self.metrics["inflight_hwm"] = len(progress.inflight)
+            self.append_sizes.record(float(len(entries)))
         progress.last_sent_time = now
+        progress.last_sent_commit = self.commit_index
         self._dispatch_append(peer, request)
 
     def _entry_for_read(self, index: int) -> LogEntry | None:
@@ -1289,6 +1452,7 @@ class RaftNode:
             self._maybe_complete_transfer(response.follower)
         else:
             progress.last_ack_time = now
+            progress.on_rejected()
             progress.next_index = max(
                 1, min(progress.next_index - 1, response.last_opid.index + 1)
             )
@@ -1417,6 +1581,7 @@ class RaftNode:
     def transfer_leadership(self, target: str) -> SimFuture:
         """Graceful promotion (§2.2): optionally mock-elect, wait for the
         target to catch up, then TimeoutNow. Resolves True on handoff."""
+        self._flush_staged_proposals()
         future = SimFuture(self.host.loop, label=f"transfer->{target}")
         if not self.is_leader or self.leader_state is None:
             future.fail(NotLeaderError(f"{self.name} is not leader"))
@@ -1868,6 +2033,7 @@ class RaftNode:
     # -------------------------------------------------------------- dispatch
 
     def handle_message(self, src: str, message: Any) -> None:
+        self._flush_staged_proposals()
         if isinstance(message, AppendEntriesRequest):
             self._handle_append_entries(src, message)
         elif isinstance(message, AppendEntriesResponse):

@@ -16,6 +16,21 @@ from repro.raft.quorum import QuorumPolicy, majority_count
 from repro.raft.types import OpId
 
 
+@dataclass(frozen=True)
+class FlowControl:
+    """Per-peer pipelining limits for the batched write path.
+
+    ``max_inflight_windows`` bounds how many entry-bearing AppendEntries
+    may be outstanding (sent, unacked) toward one peer; the adaptive
+    window starts at ``window_min`` entries per append, doubles on every
+    cleanly acked window up to ``window_max``, and collapses back to
+    ``window_min`` on a rejection or retry timeout."""
+
+    max_inflight_windows: int
+    window_min: int
+    window_max: int
+
+
 @dataclass
 class PeerProgress:
     """What the leader believes about one peer."""
@@ -25,27 +40,114 @@ class PeerProgress:
     last_ack_time: float = 0.0
     last_sent_index: int = 0
     last_sent_time: float = -1e9
+    # Commit marker carried by the newest message sent to this peer; a
+    # forced heartbeat is redundant only if the peer already saw the
+    # current one (heartbeat suppression).
+    last_sent_commit: int = -1
+    # Flow control (batched write path). None = legacy behaviour:
+    # unbounded pipelining, fixed max_entries_per_append windows.
+    flow: FlowControl | None = None
+    # Adaptive per-append entry cap (meaningful only with flow control).
+    window_entries: int = 0
+    # Tail indexes of entry-bearing appends sent but not yet acked.
+    inflight: list = field(default_factory=list)
+    inflight_hwm: int = 0
+    suppressed_heartbeats: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flow is not None and self.window_entries == 0:
+            self.window_entries = self.flow.window_min
 
     def acked(self, index: int, now: float) -> None:
         self.match_index = max(self.match_index, index)
         self.next_index = max(self.next_index, self.match_index + 1)
         self.last_ack_time = now
+        if self.flow is not None and self.inflight:
+            remaining = [tail for tail in self.inflight if tail > index]
+            cleanly_acked = len(self.inflight) - len(remaining)
+            self.inflight = remaining
+            # Slow-start growth: each cleanly acked window doubles the
+            # next window, up to the configured ceiling.
+            for _ in range(cleanly_acked):
+                self.window_entries = min(self.flow.window_max, self.window_entries * 2)
+
+    def note_sent_window(self, tail_index: int) -> None:
+        """Record one entry-bearing append as in flight (flow control)."""
+        if self.flow is None:
+            return
+        self.inflight.append(tail_index)
+        self.inflight_hwm = max(self.inflight_hwm, len(self.inflight))
+
+    def on_rejected(self) -> None:
+        """AppendEntries rejected: whatever was in flight toward this
+        peer is junk (wrong prev), and the link/log state is suspect —
+        collapse the window back to slow-start."""
+        self._collapse()
+
+    def on_retry_timeout(self) -> None:
+        """An unacked window went silent past the retry interval."""
+        self._collapse()
+
+    def _collapse(self) -> None:
+        self.inflight.clear()
+        if self.flow is not None:
+            self.window_entries = self.flow.window_min
+
+    def send_budget(self, default: int) -> int:
+        """Entry cap for the next append to this peer."""
+        return self.window_entries if self.flow is not None else default
 
     def send_window_start(
-        self, last_log_index: int, retry_interval: float, now: float, force: bool
+        self,
+        last_log_index: int,
+        retry_interval: float,
+        now: float,
+        force: bool,
+        heartbeat_suppress_window: float = 0.0,
+        commit_index: int = 0,
     ) -> int | None:
         """Where an AppendEntries to this peer should start, or None for
         nothing to send. ``last_log_index + 1`` means a pure heartbeat
         (carrying only the commit marker). The leader groups peers by
         this cursor so one storage read serves every peer at the same
-        start (shared fan-out reads)."""
+        start (shared fan-out reads).
+
+        With flow control, pipelining new tail stops while
+        ``max_inflight_windows`` appends are outstanding; the retry path
+        (no ack for ``retry_interval``) always goes through, collapsing
+        the adaptive window first. ``heartbeat_suppress_window`` > 0
+        suppresses a *forced* pure heartbeat when traffic already went
+        out within that window AND that traffic carried the current
+        commit marker — then the heartbeat is pure duplication: the
+        follower's failure detector was fed and its commit point cannot
+        advance further."""
+        heartbeat_redundant = (
+            heartbeat_suppress_window > 0.0
+            and now - self.last_sent_time < heartbeat_suppress_window
+            and self.last_sent_commit >= commit_index
+        )
         if self.next_index > last_log_index:
-            return last_log_index + 1 if force else None  # pure heartbeat
+            if not force:
+                return None
+            if heartbeat_redundant:
+                self.suppressed_heartbeats += 1
+                return None
+            return last_log_index + 1  # pure heartbeat
         if now - self.last_sent_time >= retry_interval:
+            if self.inflight:
+                self.on_retry_timeout()
             return self.next_index  # (re)send from what's unacked
         if self.last_sent_index < last_log_index:
+            if (
+                self.flow is not None
+                and len(self.inflight) >= self.flow.max_inflight_windows
+            ):
+                return None  # at the in-flight cap: wait for acks
             return max(self.next_index, self.last_sent_index + 1)  # pipeline new tail
         if force:
+            if heartbeat_redundant:
+                self.suppressed_heartbeats += 1
+                return None
             return last_log_index + 1  # heartbeat carrying the commit marker
         return None
 
@@ -59,22 +161,32 @@ class LeaderState:
     self_name: str
     last_log_index: int
     peers: dict[str, PeerProgress] = field(default_factory=dict)
+    # Flow-control limits applied to every tracked peer (None = legacy).
+    flow: FlowControl | None = None
 
     @classmethod
     def fresh(
-        cls, term: int, self_name: str, config: MembershipConfig, last_log_index: int, now: float
+        cls,
+        term: int,
+        self_name: str,
+        config: MembershipConfig,
+        last_log_index: int,
+        now: float,
+        flow: FlowControl | None = None,
     ) -> "LeaderState":
-        state = cls(term=term, self_name=self_name, last_log_index=last_log_index)
+        state = cls(term=term, self_name=self_name, last_log_index=last_log_index, flow=flow)
         for member in config.peers_of(self_name):
             state.peers[member.name] = PeerProgress(
-                next_index=last_log_index + 1, last_ack_time=now
+                next_index=last_log_index + 1, last_ack_time=now, flow=flow
             )
         return state
 
     def ensure_peer(self, name: str, now: float) -> PeerProgress:
         """Track a peer added by a mid-term membership change."""
         if name not in self.peers:
-            self.peers[name] = PeerProgress(next_index=self.last_log_index + 1, last_ack_time=now)
+            self.peers[name] = PeerProgress(
+                next_index=self.last_log_index + 1, last_ack_time=now, flow=self.flow
+            )
         return self.peers[name]
 
     def drop_peer(self, name: str) -> None:

@@ -45,11 +45,17 @@ class _EntryProbe:
 
 def _reset_to_lagging(leader) -> None:
     """Rewind every peer to cursor 1 with the retry window expired, so
-    the next replication round resends the whole log to all of them."""
+    the next replication round resends the whole log to all of them.
+    Flow-control state resets to a fully opened window so the rewound
+    round sends the whole log (this test measures read sharing, not
+    slow-start)."""
     for progress in leader.leader_state.peers.values():
         progress.next_index = 1
         progress.last_sent_index = 0
         progress.last_sent_time = -1e9
+        progress.inflight.clear()
+        if progress.flow is not None:
+            progress.window_entries = progress.flow.window_max
 
 
 def _window_length(leader) -> int:
@@ -103,7 +109,9 @@ class TestSharedFanoutReads:
         assert probe.reads == FOLLOWERS * _window_length(leader)
 
     def test_caught_up_heartbeat_probes_once(self):
-        ring = _ring()
+        # Suppression off: this test asserts the forced heartbeat's
+        # shared tail probe, which suppression would elide entirely.
+        ring = _ring(suppress_redundant_heartbeats=False)
         leader = ring.node("leader")
         # Steady state: every peer at the tail. A forced heartbeat round
         # probes the one index past the tail exactly once, shared.
