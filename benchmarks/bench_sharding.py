@@ -1,0 +1,117 @@
+"""Sharded fleet bench (repro.experiments.sharding).
+
+Acceptance gates for the repro.shard fleet layer:
+
+* **scaling** — pushing a fixed deterministic work-list through fleets
+  of 1..8 shards (per-txn Raft overhead turned up so one ring's serial
+  commit pipeline is the cap), aggregate throughput at 8 shards must be
+  >= 4x the single-ring baseline on the WORST seed, with every ring
+  converged and each shard's engine checksum identical across seeds;
+* **move drill** — a 4-shard fleet under leader-biased crash + isolate
+  churn completes an online replica move (snapshot ship, catch-up,
+  fenced cutover, map publish) with zero lost acked writes, zero
+  dual-owned keys, zero invariant violations, and a linearizable
+  client history.
+
+Two entry points:
+
+* ``python benchmarks/bench_sharding.py [--smoke] [--out FILE]`` runs
+  the sweep, prints the report, writes ``BENCH_sharding.json``, and
+  exits non-zero if a gate fails (what CI's perf-smoke step runs).
+* ``pytest benchmarks/bench_sharding.py`` runs the same thing under
+  pytest-benchmark (``SHARDING_OPS`` scales the work-list).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.sharding import ShardingResult, run_sharding
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SEEDS = (1, 2, 3)
+WRITERS = int(os.environ.get("SHARDING_WRITERS", "64"))
+OPS = int(os.environ.get("SHARDING_OPS", "40"))
+SMOKE_SHARD_COUNTS = (1, 8)
+SMOKE_SEEDS = (1, 2)
+SMOKE_OPS = 10
+
+
+def check_gates(result: ShardingResult) -> None:
+    assert all(run.converged for run in result.scaling), (
+        "a scaling run left a ring unconverged"
+    )
+    assert result.checksums_identical_across_seeds, (
+        "per-shard engine checksums differ across seeds"
+    )
+    floor = result.max_shards / 2.0
+    assert result.worst_scaling_at_max >= floor, (
+        f"throughput only scaled {result.worst_scaling_at_max:.2f}x at "
+        f"{result.max_shards} shards on the worst seed (need >= {floor:.1f}x)"
+    )
+    for drill in result.drills:
+        assert drill.move_completed, (
+            f"drill seed {drill.seed}: move stalled at {drill.move_step}"
+        )
+        assert drill.lost_keys == 0, (
+            f"drill seed {drill.seed}: {drill.lost_keys} acked keys lost "
+            f"({drill.detail})"
+        )
+        assert drill.duplicated_keys == 0, (
+            f"drill seed {drill.seed}: {drill.duplicated_keys} dual-owned keys "
+            f"({drill.detail})"
+        )
+        assert drill.violations == 0, (
+            f"drill seed {drill.seed}: {drill.violations} invariant violations"
+        )
+        assert drill.linearizable, f"drill seed {drill.seed}: history not linearizable"
+
+
+def test_sharding(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_sharding(
+            shard_counts=SHARD_COUNTS, seeds=SEEDS, writers=WRITERS, ops_per_writer=OPS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_printer(result.format_report())
+    check_gates(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small sweep (fleets {list(SMOKE_SHARD_COUNTS)}, seeds "
+             f"{list(SMOKE_SEEDS)}, {SMOKE_OPS} ops/writer) for CI",
+    )
+    parser.add_argument("--ops", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_sharding.json")
+    args = parser.parse_args(argv)
+
+    shard_counts = SMOKE_SHARD_COUNTS if args.smoke else SHARD_COUNTS
+    seeds = SMOKE_SEEDS if args.smoke else SEEDS
+    ops = args.ops if args.ops is not None else (SMOKE_OPS if args.smoke else OPS)
+    drill_seeds = (1,) if args.smoke else None
+    result = run_sharding(
+        shard_counts=shard_counts,
+        seeds=seeds,
+        writers=WRITERS,
+        ops_per_writer=ops,
+        drill_seeds=drill_seeds,
+    )
+    print(result.format_report())
+    payload = result.to_json()
+    payload["smoke"] = bool(args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    check_gates(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

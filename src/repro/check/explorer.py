@@ -108,6 +108,13 @@ def run_once(
 ) -> RunOutcome:
     """One deterministic experiment. ``schedule`` overrides the scenario's
     own fault source with a scripted event list (replay / shrinking)."""
+    if scenario.shards > 0:
+        # Sharded scenarios run on a multi-ring fleet; the recipe lives
+        # next to the fleet safety monitor (local import: it imports us
+        # for RunOutcome).
+        from repro.check.sharding import run_sharded
+
+        return run_sharded(scenario, seed, schedule=schedule, mutation=mutation)
     outcome = RunOutcome(
         scenario=scenario.name,
         seed=seed,

@@ -66,6 +66,14 @@ class Scenario:
     # scenario to the pre-batching behaviour.
     legacy_write_path: bool = False
     coalesce_wire: bool = False
+    # Sharded fleet (repro.shard): shards > 0 runs the scenario on a
+    # multi-ring fleet via repro.check.sharding.run_sharded, with
+    # shard_moves online replica relocations fired mid-run. Sharded
+    # scenarios must use injector-style faults ("random",
+    # "leader_crash_loop", "pause_storm") — the scripted
+    # region-partition builder is single-ring only.
+    shards: int = 0
+    shard_moves: int = 0
 
     def topology(self) -> ReplicaSetSpec:
         return paper_topology(
@@ -207,6 +215,26 @@ SCENARIOS: dict[str, Scenario] = {
             crash_leader_bias=0.7,
             isolate_probability=0.3,
             downtime=2.5,
+        ),
+        Scenario(
+            name="sharding",
+            description=(
+                "3-shard fleet under physical-host crash/isolate churn "
+                "with an online shard move mid-run (wrong-owner retry, "
+                "fenced cutover, dual-serve audit)"
+            ),
+            faults="random",
+            shards=3,
+            shard_moves=1,
+            clients=3,
+            duration=16.0,
+            settle=8.0,
+            crash_leader_bias=0.5,
+            isolate_probability=0.25,
+            mean_interval=5.0,
+            downtime=2.0,
+            read_fraction=0.25,
+            key_space=24,
         ),
         Scenario(
             name="read-lease",

@@ -1,0 +1,345 @@
+"""Fleet-level safety: shard-map invariants + the sharded run recipe.
+
+:class:`ShardMapSafety` is the fleet's behavioural monitor, the
+cross-ring analogue of :class:`~repro.check.invariants.InvariantSuite`.
+It hooks the fleet's two observation points (``fleet.safety``):
+
+- every control-plane map publish (``on_map_published``) — versions must
+  advance one at a time and every published map must tile the keyspace
+  (the :class:`~repro.shard.map.ShardMap` constructor enforces tiling,
+  so a malformed publish surfaces as a run crash, itself a finding);
+- every completed client operation (``on_served``) — the **dual-serve
+  invariant**: no key is ever served by two different rings under the
+  same map version, and every serve matches that version's owner.
+
+At end of run :meth:`check_fleet` sweeps actual engine content: every
+key in every ring's storage engine must hash-route to that ring under
+the final map (no *misplaced* keys), and no key may exist in two rings'
+engines at once (no *dual-owned* keys — a failed move must not leave the
+key behind on both sides).
+
+:func:`run_sharded` is the sharded counterpart of
+:func:`repro.check.explorer.run_once`: fleet topology, per-ring
+invariant suites, physical-host-granularity fault injection, a mid-run
+online shard move, and a routed multi-shard workload with history
+recording. It returns the same :class:`RunOutcome` shape, so bundles,
+sweeps, and the CLI work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.check.history import HistoryRecorder, check_linearizable
+from repro.check.invariants import MAX_VIOLATIONS, InvariantSuite, Violation
+from repro.check.scenarios import Scenario
+from repro.cluster.topology import FleetSpec
+from repro.shard.fleet import Fleet
+from repro.shard.map import ShardMap
+from repro.shard.move import ShardMoveOrchestrator
+from repro.sim.coro import spawn
+from repro.workload.faults import FaultEvent, FaultSchedule
+from repro.workload.fleet_runner import FleetWorkloadRunner, FleetWorkloadSpec
+
+
+class ShardMapSafety:
+    """Monitor the shard map's safety story across a whole run."""
+
+    def __init__(self) -> None:
+        self.maps: dict[int, ShardMap] = {}
+        self.violations: list[Violation] = []
+        self.checks: dict[str, int] = {
+            "map_published": 0,
+            "served": 0,
+            "swept_keys": 0,
+        }
+        # (version, table, repr(pk)) -> shard that served it first. One
+        # entry per (map version, key): a second serve by a *different*
+        # ring under the same version is the dual-serve violation.
+        self._served: dict[tuple, str] = {}
+
+    def attach(self, fleet: Fleet) -> None:
+        fleet.safety = self
+        for shard_map in fleet.map_history:
+            self.maps[shard_map.version] = shard_map
+
+    # -- observation points --------------------------------------------------------
+
+    def on_map_published(self, shard_map: ShardMap, now: float) -> None:
+        self.checks["map_published"] += 1
+        latest = max(self.maps) if self.maps else 0
+        if shard_map.version != latest + 1:
+            self._record(
+                "ShardMapSafety",
+                now,
+                "control-plane",
+                f"map v{shard_map.version} published after v{latest} "
+                "(versions must advance by exactly one)",
+            )
+        self.maps[shard_map.version] = shard_map
+
+    def on_served(self, version: int, table: str, pk, shard_id: str, now: float) -> None:
+        self.checks["served"] += 1
+        shard_map = self.maps.get(version)
+        if shard_map is None:
+            self._record(
+                "ShardMapSafety",
+                now,
+                shard_id,
+                f"op served under unknown map version v{version}",
+            )
+            return
+        owner = shard_map.owner_for(table, pk)
+        if owner != shard_id:
+            self._record(
+                "ShardMapSafety",
+                now,
+                shard_id,
+                f"{table!r}:{pk!r} served by {shard_id} but v{version} "
+                f"routes it to {owner}",
+            )
+        key = (version, table, repr(pk))
+        first = self._served.setdefault(key, shard_id)
+        if first != shard_id:
+            self._record(
+                "ShardMapSafety",
+                now,
+                shard_id,
+                f"dual serve: {table!r}:{pk!r} served by both {first} and "
+                f"{shard_id} under map v{version}",
+            )
+
+    # -- end-of-run sweep ----------------------------------------------------------
+
+    def check_fleet(self, fleet: Fleet) -> None:
+        """Sweep engine content against the final map: every stored key
+        must live on its owning ring and on no other ring."""
+        current = fleet.current_map
+        now = fleet.loop.now
+        holders: dict[tuple, str] = {}  # (table, repr(pk)) -> shard holding it
+        for shard_id in fleet.shard_ids():
+            engine = self._representative_engine(fleet, shard_id)
+            if engine is None:
+                continue  # whole ring dark at sweep time: nothing to audit
+            for table_name in engine.table_names():
+                for pk, _row in engine.table(table_name).stable_items():
+                    self.checks["swept_keys"] += 1
+                    owner = current.owner_for(table_name, pk)
+                    if owner != shard_id:
+                        self._record(
+                            "ShardKeyOwnership",
+                            now,
+                            shard_id,
+                            f"misplaced key {table_name!r}:{pk!r} stored on "
+                            f"{shard_id} but v{current.version} routes it to "
+                            f"{owner}",
+                        )
+                    holder = holders.setdefault((table_name, repr(pk)), shard_id)
+                    if holder != shard_id:
+                        self._record(
+                            "ShardKeyOwnership",
+                            now,
+                            shard_id,
+                            f"dual-owned key {table_name!r}:{pk!r} present in "
+                            f"engines of both {holder} and {shard_id}",
+                        )
+
+    @staticmethod
+    def _representative_engine(fleet: Fleet, shard_id: str):
+        """One live engine per ring (replicas legitimately hold the same
+        keys; cross-ring duplication is what we audit). Prefer the
+        primary's — it has applied everything committed."""
+        ring = fleet.ring(shard_id)
+        primary = ring.primary_service()
+        if primary is not None:
+            return primary.mysql.engine
+        for service in ring.database_services():
+            if ring.hosts[service.host.name].alive:
+                return service.mysql.engine
+        return None
+
+    # -- reporting ------------------------------------------------------------------
+
+    def _record(self, invariant: str, now: float, node: str, detail: str) -> None:
+        if len(self.violations) >= MAX_VIOLATIONS:
+            return
+        self.violations.append(
+            Violation(invariant=invariant, time=now, node=node, detail=detail)
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "violations": [v.to_wire() for v in self.violations],
+            "checks": dict(self.checks),
+            "map_versions": len(self.maps),
+        }
+
+
+# -- the sharded run recipe ------------------------------------------------------------
+
+
+def fleet_spec_for(scenario: Scenario) -> FleetSpec:
+    """The fleet topology a sharded scenario runs on: paper-shaped rings
+    (1 db + 2 logtailers per region, 3 regions) over 2 physical hosts per
+    region, so every box colocates replicas of several shards."""
+    return FleetSpec(
+        fleet_id=f"fleet-{scenario.name}",
+        num_shards=scenario.shards,
+        hosts_per_region=2,
+    )
+
+
+def _move_driver(fleet: Fleet, scenario: Scenario, seed: int, failures: list):
+    """Coroutine: run ``scenario.shard_moves`` online moves mid-run, one
+    after another. Each relocates a non-primary database replica to the
+    other physical host in its region. A move that cannot finish under
+    the churn is recorded, not raised — move *liveness* is best-effort;
+    move *safety* is what the monitors assert."""
+    orchestrator = ShardMoveOrchestrator(
+        fleet, catchup_timeout=scenario.duration, overall_timeout=scenario.duration
+    )
+    yield scenario.duration * 0.25  # let the workload establish routes first
+    shard_ids = fleet.shard_ids()
+    for n in range(scenario.shard_moves):
+        shard_id = shard_ids[(seed + n) % len(shard_ids)]
+        ring = fleet.ring(shard_id)
+        primary = ring.primary_service()
+        primary_name = primary.host.name if primary is not None else None
+        candidates = sorted(
+            m.name
+            for m in ring.current_membership().members
+            if m.has_storage_engine and m.name != primary_name
+        )
+        if not candidates:
+            continue
+        old_name = candidates[0]
+        source = fleet.placement.get(old_name)
+        region = ring.current_membership().member(old_name).region
+        targets = [
+            name
+            for name, fleet_host in sorted(fleet.physical.items())
+            if fleet_host.region == region and name != source
+        ]
+        if not targets:
+            continue
+        plan = orchestrator.plan_move(shard_id, old_name, targets[0])
+        try:
+            yield orchestrator.start(plan)
+        except Exception as err:  # noqa: BLE001 - stalled move is a liveness note
+            failures.append(f"{plan.move_id} ({plan.step}): {type(err).__name__}: {err}")
+
+
+def run_sharded(
+    scenario: Scenario,
+    seed: int,
+    schedule: list[FaultEvent] | None = None,
+    mutation: str | None = None,
+):
+    """One deterministic sharded experiment; the fleet counterpart of
+    :func:`repro.check.explorer.run_once` (which dispatches here when
+    ``scenario.shards`` is set)."""
+    # Local import: explorer dispatches into this module.
+    from repro.check.explorer import TRACE_TAIL, RunOutcome
+    from repro.check.mutations import apply_mutation
+
+    outcome = RunOutcome(
+        scenario=scenario.name,
+        seed=seed,
+        mutation=mutation,
+        scripted=schedule is not None,
+    )
+    with apply_mutation(mutation):
+        fleet = Fleet(
+            fleet_spec_for(scenario),
+            seed=seed,
+            raft_config=scenario.raft_config(),
+            network_spec=scenario.network_spec(),
+            trace_capacity=2048,
+        )
+        # One invariant suite per ring: the commit ledger is keyed by log
+        # index, which is only meaningful within a single ring.
+        suites: dict[str, InvariantSuite] = {}
+        for shard_id in fleet.shard_ids():
+            suite = InvariantSuite()
+            suite.attach(fleet.ring(shard_id))
+            suites[shard_id] = suite
+        safety = ShardMapSafety()
+        safety.attach(fleet)
+        history = HistoryRecorder(fleet.loop)
+        surface = fleet.fault_surface()
+        injector = None
+        scripted: FaultSchedule | None = None
+        move_failures: list[str] = []
+        try:
+            fleet.bootstrap(timeout=30.0)
+            if schedule is not None:
+                scripted = FaultSchedule(list(schedule))
+                scripted.arm(surface)
+            else:
+                injector, scripted = scenario.make_faults(
+                    surface, fleet.rng.child("faults")
+                )
+                if injector is not None:
+                    injector.start(scenario.duration)
+                else:
+                    scripted.arm(surface)
+            if scenario.shard_moves > 0:
+                spawn(
+                    fleet.loop,
+                    _move_driver(fleet, scenario, seed, move_failures),
+                    label="move-driver",
+                )
+            runner = FleetWorkloadRunner(
+                fleet,
+                FleetWorkloadSpec(
+                    name=f"check-{scenario.name}",
+                    clients=scenario.clients,
+                    think_time=scenario.think_time,
+                    key_space=scenario.key_space,
+                    read_fraction=scenario.read_fraction,
+                ),
+                history=history,
+            )
+            result = runner.run(scenario.duration)
+            fleet.run(scenario.settle)
+            for shard_id, suite in suites.items():
+                suite.check_cluster(fleet.ring(shard_id))
+            safety.check_fleet(fleet)
+            outcome.committed = result.committed
+            outcome.errors = result.errors
+            router_stats = {
+                "wrong_shard_retries": result.wrong_shard_retries,
+                "map_refreshes": result.map_refreshes,
+            }
+        except Exception as err:  # noqa: BLE001 - a dead run is a finding
+            outcome.crashed = f"{type(err).__name__}: {err}"
+            router_stats = {}
+        report = check_linearizable(history)
+        outcome.violations = [
+            v.to_wire()
+            for suite in suites.values()
+            for v in suite.violations
+        ] + [v.to_wire() for v in safety.violations]
+        outcome.linearizable = report.ok
+        outcome.lin_detail = report.describe()
+        checks: dict[str, int] = {}
+        for suite in suites.values():
+            for name, count in suite.summary()["checks"].items():
+                checks[name] = checks.get(name, 0) + count
+        for name, count in safety.summary()["checks"].items():
+            checks[name] = checks.get(name, 0) + count
+        checks.update(router_stats)
+        outcome.checks = checks
+        if move_failures:
+            outcome.checks["stalled_moves"] = len(move_failures)
+        outcome.history_stats = history.stats()
+        events = injector.events if injector is not None else (
+            scripted.events if scripted is not None else []
+        )
+        outcome.fault_events = [e.to_wire() for e in events]
+        outcome.trace_tail = [str(r) for r in fleet.tracer.tail(TRACE_TAIL)]
+    return outcome

@@ -49,15 +49,33 @@ class MyRaftReplicaset:
         timing: TimingProfile | None = None,
         proxying: bool = False,
         trace_capacity: int | None = None,
+        loop: EventLoop | None = None,
+        network: Network | None = None,
+        tracer: Tracer | None = None,
+        rng: RngStream | None = None,
+        discovery: ServiceDiscovery | None = None,
     ) -> None:
+        # A standalone ring builds its own sim infrastructure (the historical
+        # behaviour, byte-identical for existing seeds). A fleet passes shared
+        # loop/network/tracer/rng/discovery so N rings coexist on one
+        # simulated world with colocated hosts and one service-discovery map.
         self.spec = spec
-        self.loop = EventLoop()
-        self.rng = RngStream(seed)
-        self.tracer = Tracer(self.loop, capacity=trace_capacity)
-        self.net = Network(
-            self.loop, self.rng, spec=network_spec or paper_network_spec(), tracer=self.tracer
+        self.loop = loop if loop is not None else EventLoop()
+        self.rng = rng if rng is not None else RngStream(seed)
+        self.tracer = (
+            tracer if tracer is not None else Tracer(self.loop, capacity=trace_capacity)
         )
-        self.discovery = ServiceDiscovery(self.loop)
+        self.net = (
+            network
+            if network is not None
+            else Network(
+                self.loop,
+                self.rng,
+                spec=network_spec or paper_network_spec(),
+                tracer=self.tracer,
+            )
+        )
+        self.discovery = discovery if discovery is not None else ServiceDiscovery(self.loop)
         self.membership = spec.membership()
         self.raft_config = raft_config or RaftConfig(enable_proxying=proxying)
         if proxying and not self.raft_config.enable_proxying:
@@ -102,6 +120,7 @@ class MyRaftReplicaset:
                     timing=self.timing,
                     rng=self.rng,
                     router=router,
+                    replicaset=spec.replicaset_id,
                 )
             host.attach_service(service)
             self.hosts[member.name] = host
@@ -225,6 +244,7 @@ class MyRaftReplicaset:
                 timing=self.timing,
                 rng=self.rng,
                 router=router,
+                replicaset=self.spec.replicaset_id,
             )
         host.replace_service(service)
         self.services[name] = service

@@ -67,10 +67,14 @@ class MembershipAutomation:
                 timing=cluster.timing,
                 rng=cluster.rng,
                 router=router,
+                replicaset=cluster.spec.replicaset_id,
             )
         host.attach_service(service)
         cluster.hosts[member.name] = host
         cluster.services[member.name] = service
+        monitor = getattr(cluster, "monitor", None)
+        if monitor is not None:
+            service.node.monitor = monitor
         return service
 
     def replace_member(

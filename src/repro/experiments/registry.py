@@ -19,6 +19,7 @@ from repro.experiments.quorum_fixer_drill import run_quorum_fixer_drill
 from repro.experiments.read_path import run_read_path
 from repro.experiments.repl_hotpath import run_repl_hotpath
 from repro.experiments.rollout_drill import run_rollout_drill
+from repro.experiments.sharding import run_sharding
 from repro.experiments.snapshot_bootstrap import run_snapshot_bootstrap
 from repro.experiments.table1_roles import run_table1
 from repro.experiments.table2_downtime import run_table2
@@ -41,6 +42,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "parallel-apply": run_parallel_apply,
     "read-path": run_read_path,
     "write-path": run_write_path,
+    "sharding": run_sharding,
 }
 
 

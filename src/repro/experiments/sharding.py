@@ -1,0 +1,524 @@
+"""Sharded fleet experiment: throughput scaling + online shard-move drill.
+
+The paper's deployment unit is not one ring but a fleet of MySQL shards,
+each its own Raft ring, with replicas of many shards colocated per host
+and a control plane that relocates replicas online. This experiment
+measures the two properties that make sharding worth the machinery:
+
+**Scaling** — a fixed, deterministic work-list (every writer owns one
+key and writes a known number of sequential values) is pushed through
+fleets of 1..N shards under a timing profile whose per-transaction Raft
+overhead caps a single ring's serial commit pipeline. Since total work
+is constant, aggregate throughput must rise with shard count: the gate
+is >= shards/2 speedup at the largest fleet on the WORST seed. Because
+the work-list and the hash partition are both seed-independent, each
+shard's final engine checksum must be identical across seeds — the
+determinism check that the fleet inherits from the single ring.
+
+**Move drill** — a 4-shard fleet under leader-biased crash + isolate
+churn, with pinned writers (client ``c`` writes key ``c`` with
+monotonically increasing sequence numbers) and linearizable reads, while
+the orchestrator relocates a database replica online mid-run. After the
+churn heals and the fleet settles, the drill audits: the move completed;
+no acked write was lost (every key's engine row carries at least the
+last acked sequence); no key is present in two rings' engines
+(dual-ownership); :class:`~repro.check.sharding.ShardMapSafety` saw no
+dual-serve; per-ring Raft invariants held; and the full client history
+is linearizable (Wing–Gong).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.check.history import HistoryRecorder, check_linearizable
+from repro.check.invariants import InvariantSuite
+from repro.check.sharding import ShardMapSafety
+from repro.cluster.topology import FleetSpec
+from repro.errors import ReadOnlyError, ReproError, ShardError
+from repro.experiments.common import format_table
+from repro.mysql.timing import TimingProfile
+from repro.shard.fleet import Fleet
+from repro.shard.move import ShardMoveOrchestrator
+from repro.sim.coro import spawn
+from repro.workload.faults import RandomFaultInjector
+
+TABLE = "bench"
+
+
+def scaling_profile() -> TimingProfile:
+    """Timing with the per-transaction Raft overhead turned up so one
+    ring's serial commit pipeline is the bottleneck (the regime where
+    sharding pays): ~800us of leader CPU per transaction caps a single
+    ring near 1.2k txn/s however many clients pile on."""
+    return TimingProfile(raft_overhead_median=800e-6)
+
+
+# -- scaling phase ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalingRun:
+    """One fleet size at one seed, pushing the fixed work-list."""
+
+    shards: int
+    seed: int
+    ops: int
+    sim_seconds: float
+    wall_seconds: float
+    throughput: float  # committed txns per sim second
+    converged: bool
+    # shard_id -> the ring's (converged) engine checksum.
+    checksums: dict = field(default_factory=dict)
+
+
+def _scaling_writer(fleet: Fleet, router, writer_id: int, ops: int, done: dict):
+    for seq in range(1, ops + 1):
+        rows = {writer_id: {"id": writer_id, "seq": seq, "w": writer_id}}
+        yield from router.submit_write(TABLE, rows)
+    done[writer_id] = fleet.loop.now
+
+
+def _run_scaling(shards: int, seed: int, writers: int, ops_per_writer: int) -> ScalingRun:
+    fleet = Fleet(
+        FleetSpec(fleet_id=f"scale{shards}", num_shards=shards),
+        seed=seed,
+        timing=scaling_profile(),
+        trace_capacity=256,
+    )
+    started_wall = time.perf_counter()
+    fleet.bootstrap(timeout=30.0)
+    done: dict[int, float] = {}  # writer -> sim time its last commit acked
+    started_sim = fleet.loop.now
+    for writer_id in range(writers):
+        spawn(
+            fleet.loop,
+            _scaling_writer(fleet, fleet.router(), writer_id, ops_per_writer, done),
+            label=f"scale-writer-{writer_id}",
+        )
+    deadline = fleet.loop.now + 120.0
+    while len(done) < writers and fleet.loop.now < deadline:
+        fleet.run(0.1)
+    if len(done) < writers:
+        raise ReproError(
+            f"scaling {shards}x seed {seed}: {writers - len(done)} writers stalled"
+        )
+    elapsed = max(done.values()) - started_sim
+    # Quiesce so every ring's replicas converge before checksumming.
+    settle_deadline = fleet.loop.now + 30.0
+    while fleet.loop.now < settle_deadline and not fleet.converged():
+        fleet.run(0.25)
+    checksums: dict[str, int] = {}
+    for shard_id, per_endpoint in fleet.engine_checksums().items():
+        values = set(per_endpoint.values())
+        if len(values) != 1:
+            raise ReproError(
+                f"scaling {shards}x seed {seed}: shard {shard_id} replicas "
+                f"disagree: {per_endpoint}"
+            )
+        checksums[shard_id] = values.pop()
+    ops = writers * ops_per_writer
+    return ScalingRun(
+        shards=shards,
+        seed=seed,
+        ops=ops,
+        sim_seconds=elapsed,
+        wall_seconds=time.perf_counter() - started_wall,
+        throughput=ops / elapsed if elapsed > 0 else 0.0,
+        converged=fleet.converged(),
+        checksums=checksums,
+    )
+
+
+# -- move drill phase ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MoveDrillRun:
+    """One seed of the online-move-under-churn drill."""
+
+    seed: int
+    committed: int
+    reads: int
+    errors: int
+    move_completed: bool
+    move_step: str
+    fence_seconds: float
+    lost_keys: int
+    duplicated_keys: int
+    violations: int
+    linearizable: bool
+    wrong_shard_retries: int
+    map_version: int
+    converged: bool
+    detail: str = ""
+
+
+def _drill_writer(fleet, router, history, writer_id, stop_at, acked, counters):
+    # Throttled: the Wing-Gong checker's search depth grows with the
+    # per-key history length, so each pinned key gets O(100) ops, not
+    # O(1000).
+    seq = 0
+    while fleet.loop.now < stop_at:
+        seq += 1
+        value = f"c{writer_id}.{seq}"
+        rows = {writer_id: {"id": writer_id, "seq": seq, "v": value}}
+        op = history.invoke(writer_id, "write", (TABLE, writer_id), value)
+        try:
+            yield from router.submit_write(TABLE, rows)
+        except ShardError:
+            history.fail(op, definite=True)  # never reached a primary
+            counters["errors"] += 1
+            yield 0.2
+            continue
+        except Exception as err:  # noqa: BLE001 - crash/demotion mid-commit
+            # The write may still commit later (indefinite), so its seq is
+            # burned — never reused — but not acked.
+            history.fail(op, definite=isinstance(err, ReadOnlyError))
+            counters["errors"] += 1
+            yield 0.2
+            continue
+        acked[writer_id] = seq
+        counters["committed"] += 1
+        yield 0.12
+
+
+def _drill_reader(fleet, router, history, reader_id, writers, stop_at, counters):
+    rng = fleet.rng.child(f"drill-reader/{reader_id}")
+    while fleet.loop.now < stop_at:
+        key = rng.randint(0, writers - 1)
+        op = history.invoke(1000 + reader_id, "read", (TABLE, key))
+        try:
+            _opid, row = yield from router.submit_read(TABLE, key)
+        except Exception:  # noqa: BLE001 - routing/lease failures
+            history.fail(op, definite=True)
+            yield 0.05
+            continue
+        history.complete(op, value=row["v"] if row is not None else None)
+        counters["reads"] += 1
+        yield 0.03
+
+
+def _drill_move(fleet, orchestrator, start_after, plans, failures):
+    yield start_after
+    shard_ids = fleet.shard_ids()
+    shard_id = shard_ids[0]
+    ring = fleet.ring(shard_id)
+    primary = ring.primary_service()
+    primary_name = primary.host.name if primary is not None else None
+    candidates = sorted(
+        m.name
+        for m in ring.current_membership().members
+        if m.has_storage_engine and m.name != primary_name
+    )
+    if not candidates:
+        failures.append("no movable database replica")
+        return
+    old_name = candidates[0]
+    member = ring.current_membership().member(old_name)
+    source = fleet.placement.get(old_name)
+    targets = [
+        name
+        for name, fleet_host in sorted(fleet.physical.items())
+        if fleet_host.region == member.region and name != source
+    ]
+    if not targets:
+        failures.append(f"no target host in {member.region}")
+        return
+    plan = orchestrator.plan_move(shard_id, old_name, targets[0])
+    plans.append(plan)
+    try:
+        yield orchestrator.start(plan)
+    except Exception as err:  # noqa: BLE001 - surfaced in the drill report
+        failures.append(f"{plan.move_id} ({plan.step}): {type(err).__name__}: {err}")
+
+
+def _run_drill(
+    seed: int,
+    shards: int = 4,
+    writers: int = 8,
+    readers: int = 2,
+    duration: float = 14.0,
+    settle: float = 8.0,
+) -> MoveDrillRun:
+    fleet = Fleet(
+        FleetSpec(fleet_id="drill", num_shards=shards),
+        seed=seed,
+        trace_capacity=1024,
+    )
+    suites = {}
+    for shard_id in fleet.shard_ids():
+        suite = InvariantSuite()
+        suite.attach(fleet.ring(shard_id))
+        suites[shard_id] = suite
+    safety = ShardMapSafety()
+    safety.attach(fleet)
+    history = HistoryRecorder(fleet.loop)
+    fleet.bootstrap(timeout=30.0)
+
+    injector = RandomFaultInjector(
+        fleet.fault_surface(),
+        fleet.rng.child("drill-faults"),
+        mean_interval=4.0,
+        downtime=1.5,
+        crash_leader_bias=0.6,
+        isolate_probability=0.25,
+    )
+    # Churn stops before the workload does, leaving a quiet tail in which
+    # a move delayed by elections can still finish before the audit.
+    injector.start(duration * 0.7)
+
+    stop_at = fleet.loop.now + duration
+    acked: dict[int, int] = {}
+    counters = {"committed": 0, "errors": 0, "reads": 0}
+    routers = []
+    for writer_id in range(writers):
+        router = fleet.router()
+        routers.append(router)
+        spawn(
+            fleet.loop,
+            _drill_writer(
+                fleet, router, history, writer_id, stop_at, acked, counters
+            ),
+            label=f"drill-writer-{writer_id}",
+        )
+    for reader_id in range(readers):
+        router = fleet.router()
+        routers.append(router)
+        spawn(
+            fleet.loop,
+            _drill_reader(
+                fleet, router, history, reader_id, writers, stop_at, counters
+            ),
+            label=f"drill-reader-{reader_id}",
+        )
+    orchestrator = ShardMoveOrchestrator(
+        fleet, catchup_timeout=duration + settle, overall_timeout=duration + settle
+    )
+    plans: list = []
+    move_failures: list[str] = []
+    spawn(
+        fleet.loop,
+        _drill_move(fleet, orchestrator, duration * 0.3, plans, move_failures),
+        label="drill-move",
+    )
+    fleet.run(duration)
+    # Let the move finish in the quiet tail, then settle and converge.
+    tail_deadline = fleet.loop.now + settle
+    while fleet.loop.now < tail_deadline:
+        fleet.run(0.25)
+        if plans and plans[0].completed and fleet.converged():
+            break
+
+    for shard_id, suite in suites.items():
+        suite.check_cluster(fleet.ring(shard_id))
+    safety.check_fleet(fleet)
+
+    # Loss/duplication audit over actual engine content.
+    current = fleet.current_map
+    lost = 0
+    duplicated = 0
+    details: list[str] = []
+    for writer_id, last_acked in sorted(acked.items()):
+        holders = []
+        for shard_id in fleet.shard_ids():
+            engine = ShardMapSafety._representative_engine(fleet, shard_id)
+            if engine is None:
+                continue
+            row = engine.table(TABLE).get(writer_id)
+            if row is not None:
+                holders.append((shard_id, row))
+        if len(holders) > 1:
+            duplicated += 1
+            details.append(f"key {writer_id} on {[h[0] for h in holders]}")
+            continue
+        owner = current.owner_for(TABLE, writer_id)
+        row = dict(holders).get(owner)
+        if row is None or row["seq"] < last_acked:
+            lost += 1
+            got = row["seq"] if row is not None else None
+            details.append(f"key {writer_id}: acked seq {last_acked}, engine {got}")
+
+    report = check_linearizable(history)
+    violations = sum(len(s.violations) for s in suites.values()) + len(safety.violations)
+    plan = plans[0] if plans else None
+    wrong_shard = sum(r.stats["wrong_shard_retries"] for r in routers)
+    details.extend(move_failures)
+    return MoveDrillRun(
+        seed=seed,
+        committed=counters["committed"],
+        reads=counters["reads"],
+        errors=counters["errors"],
+        move_completed=plan is not None and plan.completed,
+        move_step=plan.step if plan is not None else "unplanned",
+        fence_seconds=plan.fence_seconds if plan is not None else 0.0,
+        lost_keys=lost,
+        duplicated_keys=duplicated,
+        violations=violations,
+        linearizable=report.ok,
+        wrong_shard_retries=wrong_shard,
+        map_version=fleet.current_map.version,
+        converged=fleet.converged(),
+        detail="; ".join(details[:6]),
+    )
+
+
+# -- results ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardingResult:
+    shard_counts: tuple
+    seeds: tuple
+    writers: int
+    ops_per_writer: int
+    scaling: list  # ScalingRun
+    drills: list  # MoveDrillRun
+
+    @property
+    def max_shards(self) -> int:
+        return max(self.shard_counts)
+
+    def _throughput(self, shards: int, seed: int) -> float:
+        for run in self.scaling:
+            if run.shards == shards and run.seed == seed:
+                return run.throughput
+        raise ReproError(f"no scaling run for {shards} shards seed {seed}")
+
+    def scaling_factor(self, shards: int, seed: int) -> float:
+        base = self._throughput(1, seed)
+        return self._throughput(shards, seed) / base if base > 0 else 0.0
+
+    @property
+    def worst_scaling_at_max(self) -> float:
+        return min(self.scaling_factor(self.max_shards, seed) for seed in self.seeds)
+
+    @property
+    def checksums_identical_across_seeds(self) -> bool:
+        """Per (fleet size, shard), the converged engine checksum must not
+        depend on the seed — the work-list and partition are both
+        deterministic, so the content is too."""
+        by_key: dict[tuple, set] = {}
+        for run in self.scaling:
+            for shard_id, checksum in run.checksums.items():
+                by_key.setdefault((run.shards, shard_id), set()).add(checksum)
+        return all(len(values) == 1 for values in by_key.values())
+
+    @property
+    def drills_clean(self) -> bool:
+        return all(
+            d.move_completed
+            and d.lost_keys == 0
+            and d.duplicated_keys == 0
+            and d.violations == 0
+            and d.linearizable
+            for d in self.drills
+        )
+
+    def format_report(self) -> str:
+        scaling_rows = [
+            [
+                run.shards,
+                run.seed,
+                run.ops,
+                f"{run.sim_seconds:.2f}",
+                f"{run.throughput:,.0f}",
+                f"{self.scaling_factor(run.shards, run.seed):.2f}x",
+                "yes" if run.converged else "NO",
+            ]
+            for run in self.scaling
+        ]
+        drill_rows = [
+            [
+                d.seed,
+                d.committed,
+                d.reads,
+                d.errors,
+                f"{d.move_step}",
+                f"{d.fence_seconds * 1e3:.1f}",
+                d.lost_keys,
+                d.duplicated_keys,
+                d.violations,
+                "yes" if d.linearizable else "NO",
+                f"v{d.map_version}",
+            ]
+            for d in self.drills
+        ]
+        lines = [
+            f"sharding: {self.writers} writers x {self.ops_per_writer} ops, "
+            f"fleets {list(self.shard_counts)}, seeds {list(self.seeds)}",
+            format_table(
+                ["shards", "seed", "ops", "sim_s", "txn/s", "scaling", "converged"],
+                scaling_rows,
+            ),
+            f"worst-seed scaling at {self.max_shards} shards: "
+            f"{self.worst_scaling_at_max:.2f}x",
+            f"per-shard checksums identical across seeds: "
+            f"{'yes' if self.checksums_identical_across_seeds else 'NO'}",
+            "",
+            "online shard-move drill under crash+isolate churn:",
+            format_table(
+                [
+                    "seed",
+                    "committed",
+                    "reads",
+                    "errors",
+                    "move",
+                    "fence_ms",
+                    "lost",
+                    "dup",
+                    "violations",
+                    "linearizable",
+                    "map",
+                ],
+                drill_rows,
+            ),
+            f"drills clean (move done, 0 lost, 0 dual-owned, linearizable): "
+            f"{'yes' if self.drills_clean else 'NO'}",
+        ]
+        for drill in self.drills:
+            if drill.detail:
+                lines.append(f"  seed {drill.seed}: {drill.detail}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "sharding",
+            "shard_counts": list(self.shard_counts),
+            "seeds": list(self.seeds),
+            "writers": self.writers,
+            "ops_per_writer": self.ops_per_writer,
+            "scaling": [asdict(run) for run in self.scaling],
+            "drills": [asdict(d) for d in self.drills],
+            "worst_scaling_at_max": round(self.worst_scaling_at_max, 3),
+            "checksums_identical_across_seeds": self.checksums_identical_across_seeds,
+            "drills_clean": self.drills_clean,
+        }
+
+
+def run_sharding(
+    shard_counts: tuple = (1, 2, 4, 8),
+    seeds: tuple = (1, 2, 3),
+    writers: int = 64,
+    ops_per_writer: int = 40,
+    drill_seeds: tuple | None = None,
+) -> ShardingResult:
+    """The full experiment: the scaling sweep then the move drill.
+    ``drill_seeds`` defaults to ``seeds``."""
+    if 1 not in shard_counts:
+        raise ReproError("shard_counts must include 1 (the scaling baseline)")
+    scaling = [
+        _run_scaling(shards, seed, writers, ops_per_writer)
+        for shards in shard_counts
+        for seed in seeds
+    ]
+    drills = [_run_drill(seed) for seed in (drill_seeds or seeds)]
+    return ShardingResult(
+        shard_counts=tuple(shard_counts),
+        seeds=tuple(seeds),
+        writers=writers,
+        ops_per_writer=ops_per_writer,
+        scaling=scaling,
+        drills=drills,
+    )

@@ -59,11 +59,13 @@ class LogtailerService:
         timing: TimingProfile,
         rng: RngStream,
         router: Any | None = None,
+        replicaset: str = "rs0",
     ) -> None:
         member = membership.member(host.name)
         if member is None or member.has_storage_engine:
             raise RaftError(f"{host.name} is not declared as a witness in the membership")
         self.host = host
+        self.replicaset = replicaset
         self.raft_config = raft_config
         self.log_manager = MySQLLogManager(host.disk.namespace("mysqllog"), persona="relay")
         self.storage = BinlogRaftLogStorage(self.log_manager)
@@ -77,6 +79,7 @@ class LogtailerService:
             timing=_LogtailerTiming(timing, rng),
             rng=rng,
             router=router,
+            ring_id=replicaset,
         )
         self._wire_snapshots()
 

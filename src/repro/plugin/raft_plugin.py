@@ -121,6 +121,7 @@ class MyRaftServer:
             timing=_RaftDiskTiming(timing, rng),
             rng=rng,
             router=router,
+            ring_id=replicaset,
         )
         self._commit_waiters: list[tuple[int, SimFuture]] = []
         self.applier: Applier | None = None

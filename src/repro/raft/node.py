@@ -82,10 +82,12 @@ class RaftNode:
         timing: TimingModel | None = None,
         rng: RngStream | None = None,
         router: "Any | None" = None,
+        ring_id: str = "rs0",
     ) -> None:
         config.validate()
         self.host = host
         self.name = host.name
+        self.ring_id = ring_id
         self.config = config
         self.storage = storage
         self.policy = policy
@@ -321,6 +323,7 @@ class RaftNode:
         (apply lag = committed-but-not-yet-engine-applied entries)."""
         applied = self.applied_index_fn() if self.applied_index_fn is not None else None
         return {
+            "ring_id": self.ring_id,
             "log": self.storage.stats(),
             "cache": self.cache.stats(),
             "replication_rounds": self.metrics["replication_rounds"],

@@ -1,0 +1,25 @@
+"""repro.shard — the sharded multi-ring fleet layer.
+
+Everything above a single ring: the versioned hash-range shard map
+gossiped to clients, the client-side router with wrong-owner retry, the
+fleet of N :class:`~repro.cluster.replicaset.MyRaftReplicaset` rings
+sharing one simulated world, and the online shard-move orchestrator
+built from snapshot shipping + membership change + a brief write fence.
+"""
+
+from repro.shard.fleet import Fleet, FleetFaultSurface, FleetHost
+from repro.shard.map import KEYSPACE, ShardMap, key_hash
+from repro.shard.move import MovePlan, ShardMoveOrchestrator
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "KEYSPACE",
+    "Fleet",
+    "FleetFaultSurface",
+    "FleetHost",
+    "MovePlan",
+    "ShardMap",
+    "ShardMoveOrchestrator",
+    "ShardRouter",
+    "key_hash",
+]

@@ -1,0 +1,422 @@
+"""The fleet: N MyRaft rings sharing one simulated world.
+
+The paper deploys MyRaft across a fleet of MySQL shards — each shard an
+independent Raft ring, many ring members colocated per physical host,
+with a control plane that places replicas and relocates them online.
+:class:`Fleet` is that layer for the simulator:
+
+- one shared :class:`~repro.sim.loop.EventLoop`, network, tracer, and
+  service discovery, with each ring drawing from its own child RNG
+  stream (``ring/<shard>``) so fleets are seed-deterministic;
+- a deterministic placement of ring endpoints onto *physical* hosts
+  (:class:`~repro.cluster.topology.FleetSpec`), where a physical-host
+  fault takes down every colocated endpoint at once;
+- the versioned :class:`~repro.shard.map.ShardMap` the control plane
+  publishes and clients gossip;
+- :meth:`fault_surface`, a physical-host-granularity view that plugs
+  straight into the existing fault injector and scripted schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.replicaset import MyRaftReplicaset, paper_network_spec
+from repro.cluster.topology import FleetSpec
+from repro.control.discovery import ServiceDiscovery
+from repro.errors import ShardError, WrongShardError
+from repro.metrics import LatencyHistogram
+from repro.mysql.server import ServerRole
+from repro.mysql.timing import TimingProfile, myraft_profile
+from repro.raft.config import RaftConfig
+from repro.shard.map import ShardMap
+from repro.sim.host import Host
+from repro.sim.loop import EventLoop
+from repro.sim.network import Network, NetworkSpec
+from repro.sim.rng import RngStream
+from repro.sim.tracing import Tracer
+
+
+class FleetHost:
+    """One physical host: a group of colocated ring endpoints that fail
+    together. Crash/pause/isolate at this granularity hits every shard
+    with a replica on the box — the paper's correlated-failure unit."""
+
+    def __init__(self, loop: EventLoop, name: str, region: str) -> None:
+        self.loop = loop
+        self.name = name
+        self.region = region
+        self.endpoints: list[Host] = []
+
+    def adopt(self, host: Host) -> None:
+        if host not in self.endpoints:
+            self.endpoints.append(host)
+
+    def drop(self, host: Host) -> None:
+        if host in self.endpoints:
+            self.endpoints.remove(host)
+
+    @property
+    def alive(self) -> bool:
+        return all(h.alive for h in self.endpoints)
+
+    def crash(self) -> None:
+        for host in self.endpoints:
+            if host.alive:
+                host.crash()
+
+    def restart(self) -> None:
+        for host in self.endpoints:
+            if not host.alive:
+                host.restart()
+
+    def crash_for(self, downtime: float) -> None:
+        self.crash()
+        self.loop.call_after(downtime, self.restart)
+
+    def pause(self) -> None:
+        for host in self.endpoints:
+            host.pause()
+
+    def resume(self) -> None:
+        for host in self.endpoints:
+            host.resume()
+
+    def pause_for(self, stall: float) -> None:
+        self.pause()
+        self.loop.call_after(stall, self.resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FleetHost({self.name}, {len(self.endpoints)} endpoints)"
+
+
+class Fleet:
+    """A sharded MyRaft fleet on one simulated world."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        seed: int = 1,
+        raft_config: RaftConfig | None = None,
+        network_spec: NetworkSpec | None = None,
+        timing: TimingProfile | None = None,
+        trace_capacity: int | None = 2048,
+    ) -> None:
+        self.spec = spec
+        self.loop = EventLoop()
+        self.rng = RngStream(seed)
+        self.tracer = Tracer(self.loop, capacity=trace_capacity)
+        self.net = Network(
+            self.loop, self.rng, spec=network_spec or paper_network_spec(), tracer=self.tracer
+        )
+        self.discovery = ServiceDiscovery(self.loop)
+        self.raft_config = raft_config or RaftConfig()
+        self.timing = timing or myraft_profile()
+        # Optional behavioural monitor (repro.check.ShardMapSafety): sees
+        # every published map and every served key.
+        self.safety: Any | None = None
+
+        self.rings: dict[str, MyRaftReplicaset] = {}
+        for shard_id in spec.shard_ids():
+            self.rings[shard_id] = MyRaftReplicaset(
+                spec.ring_spec(shard_id),
+                raft_config=self.raft_config,
+                timing=self.timing,
+                loop=self.loop,
+                network=self.net,
+                tracer=self.tracer,
+                rng=self.rng.child(f"ring/{shard_id}"),
+                discovery=self.discovery,
+            )
+
+        # Physical placement: endpoint Hosts grouped under FleetHosts.
+        self.placement: dict[str, str] = dict(spec.placement())
+        self.physical: dict[str, FleetHost] = {
+            name: FleetHost(self.loop, name, region)
+            for name, region in spec.physical_hosts()
+        }
+        self._endpoint_ring: dict[str, str] = {}
+        for shard_id, ring in self.rings.items():
+            for endpoint, host in ring.hosts.items():
+                self.physical[self.placement[endpoint]].adopt(host)
+                self._endpoint_ring[endpoint] = shard_id
+
+        initial = ShardMap.uniform(
+            {
+                shard_id: tuple(ring.spec.database_names())
+                for shard_id, ring in self.rings.items()
+            }
+        )
+        self.map_history: list[ShardMap] = [initial]
+        # Shard moves journal their control-plane state here (MovePlan by
+        # move id) so an orchestrator restart resumes mid-move.
+        self.move_journal: dict[str, Any] = {}
+
+    # -- access ------------------------------------------------------------------
+
+    def shard_ids(self) -> list[str]:
+        return sorted(self.rings)
+
+    def ring(self, shard_id: str) -> MyRaftReplicaset:
+        try:
+            return self.rings[shard_id]
+        except KeyError as err:
+            raise ShardError(f"unknown shard {shard_id!r}") from err
+
+    def primary_of(self, shard_id: str):
+        return self.ring(shard_id).primary_service()
+
+    def endpoint_service(self, endpoint: str):
+        shard_id = self._endpoint_ring.get(endpoint)
+        if shard_id is None:
+            return None
+        return self.rings[shard_id].services.get(endpoint)
+
+    def ring_of_endpoint(self, endpoint: str) -> str | None:
+        return self._endpoint_ring.get(endpoint)
+
+    # -- shard map ------------------------------------------------------------------
+
+    @property
+    def current_map(self) -> ShardMap:
+        return self.map_history[-1]
+
+    def publish_map(self, shard_map: ShardMap) -> None:
+        """Control-plane publish: versions must advance by exactly one
+        (single control plane, totally ordered publishes)."""
+        if shard_map.version != self.current_map.version + 1:
+            raise ShardError(
+                f"map version {shard_map.version} does not follow "
+                f"{self.current_map.version}"
+            )
+        self.map_history.append(shard_map)
+        if self.safety is not None:
+            self.safety.on_map_published(shard_map, self.loop.now)
+
+    def check_route(self, endpoint: str, table: str, pk, client_map: ShardMap) -> str:
+        """Server-side ownership guard: would ``endpoint`` serve
+        (table, pk) under the *current* map? Raises
+        :class:`WrongShardError` carrying the newer map when the client's
+        cached route is stale (moved replica, decommissioned endpoint)."""
+        current = self.current_map
+        shard_id = current.owner_for(table, pk)
+        if endpoint not in current.route_of(shard_id):
+            raise WrongShardError(
+                f"{endpoint} does not serve {table!r}:{pk!r} under map "
+                f"v{current.version} (owner {shard_id}); client had "
+                f"v{client_map.version}",
+                shard_id,
+                current,
+            )
+        return shard_id
+
+    def record_serve(self, version: int, table: str, pk, shard_id: str) -> None:
+        """A client operation completed against ``shard_id`` routed with
+        map ``version`` — feed the safety monitor's dual-serve ledger."""
+        if self.safety is not None:
+            self.safety.on_served(
+                version, table, pk, shard_id, self.loop.now
+            )
+
+    def router(self, shard_map: ShardMap | None = None):
+        from repro.shard.router import ShardRouter
+
+        return ShardRouter(self, shard_map=shard_map)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def bootstrap(self, timeout: float = 30.0) -> None:
+        """Elect every ring's initial primary concurrently and wait until
+        all shards accept writes."""
+        for shard_id in self.shard_ids():
+            ring = self.rings[shard_id]
+            ring.server(ring.spec.initial_primary()).node.bootstrap_as_initial_leader()
+        deadline = self.loop.now + timeout
+        while self.loop.now < deadline:
+            self.run(0.05)
+            if all(r.primary_service() is not None for r in self.rings.values()):
+                return
+        missing = [s for s, r in self.rings.items() if r.primary_service() is None]
+        raise ShardError(f"fleet bootstrap incomplete: no primary for {missing}")
+
+    def run(self, seconds: float) -> None:
+        self.loop.run_for(seconds, max_events=50_000_000)
+
+    # -- physical-host faults ----------------------------------------------------------
+
+    def crash_host(self, name: str) -> None:
+        self.physical[name].crash()
+
+    def restart_host(self, name: str) -> None:
+        self.physical[name].restart()
+
+    def isolate_host(self, name: str) -> None:
+        for host in self.physical[name].endpoints:
+            self.net.isolate(host.name)
+
+    def heal_host(self, name: str) -> None:
+        for host in self.physical[name].endpoints:
+            self.net.heal(host.name)
+
+    def fault_surface(self) -> "FleetFaultSurface":
+        return FleetFaultSurface(self)
+
+    # -- shard-move plumbing ------------------------------------------------------------
+
+    def adopt_endpoint(self, shard_id: str, endpoint: str, physical_name: str) -> None:
+        """Register a freshly allocated ring endpoint on a physical host
+        (the move orchestrator's allocate step)."""
+        ring = self.ring(shard_id)
+        if endpoint not in ring.hosts:
+            raise ShardError(f"{endpoint!r} not allocated in ring {shard_id}")
+        if physical_name not in self.physical:
+            raise ShardError(f"unknown physical host {physical_name!r}")
+        self.placement[endpoint] = physical_name
+        self.physical[physical_name].adopt(ring.hosts[endpoint])
+        self._endpoint_ring[endpoint] = shard_id
+
+    def decommission_endpoint(self, endpoint: str) -> None:
+        """Tear down a ring endpoint that has been removed from its
+        membership: crash it, unregister from the network, and drop it
+        from the ring's and fleet's books."""
+        shard_id = self._endpoint_ring.pop(endpoint, None)
+        if shard_id is None:
+            return
+        ring = self.rings[shard_id]
+        host = ring.hosts.pop(endpoint, None)
+        ring.services.pop(endpoint, None)
+        if host is not None:
+            if host.alive:
+                host.crash()
+            physical_name = self.placement.pop(endpoint, None)
+            if physical_name is not None:
+                self.physical[physical_name].drop(host)
+            self.net.unregister(endpoint)
+
+    # -- observability ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet rollup: per-shard leader/commit state, leaders per
+        physical host (colocation), and apply lag max/p99 across every
+        shard (per-ring histograms folded with ``Histogram.merge``)."""
+        fleet_lag = LatencyHistogram("fleet-apply-lag")
+        shards: dict[str, Any] = {}
+        leaders_per_host = {name: 0 for name in self.physical}
+        for shard_id in self.shard_ids():
+            ring = self.rings[shard_id]
+            ring_lag = LatencyHistogram(f"{shard_id}-apply-lag")
+            commit_index = 0
+            for service in ring.database_services():
+                if not service.host.alive:
+                    continue
+                node_stats = service.node.stats()
+                commit_index = max(commit_index, node_stats["commit_index"])
+                if node_stats["apply_lag"] is not None:
+                    ring_lag.record(float(node_stats["apply_lag"]))
+            primary = ring.primary_service()
+            leader = primary.host.name if primary is not None else None
+            leader_host = self.placement.get(leader) if leader else None
+            if leader_host is not None:
+                leaders_per_host[leader_host] += 1
+            shards[shard_id] = {
+                "ring_id": shard_id,
+                "leader": leader,
+                "leader_host": leader_host,
+                "term": primary.node.current_term if primary is not None else None,
+                "commit_index": commit_index,
+                "apply_lag_max": ring_lag.max() if ring_lag.count else 0,
+                "members": len(ring.current_membership().members),
+            }
+            fleet_lag.merge(ring_lag)
+        return {
+            "shards": shards,
+            "leaders_per_host": leaders_per_host,
+            "apply_lag": {
+                "max": fleet_lag.max() if fleet_lag.count else 0,
+                "p99": fleet_lag.percentile(99) if fleet_lag.count else 0,
+            },
+            "map_version": self.current_map.version,
+            "moves": {
+                move_id: plan.step for move_id, plan in sorted(self.move_journal.items())
+            },
+        }
+
+    def engine_checksums(self) -> dict[str, dict[str, int]]:
+        return {
+            shard_id: self.rings[shard_id].engine_checksums()
+            for shard_id in self.shard_ids()
+        }
+
+    def converged(self) -> bool:
+        return all(
+            ring.databases_converged() and ring.logs_prefix_equal()
+            for ring in self.rings.values()
+        )
+
+
+class _PhysicalPrimaryView:
+    """What the fault injector needs from ``primary_service()``: an object
+    whose ``host.name`` indexes the surface's host table."""
+
+    def __init__(self, fleet_host: FleetHost) -> None:
+        self.host = fleet_host
+
+
+class _PhysicalNetFacade:
+    """Network facade at physical granularity: isolating a physical host
+    isolates every colocated endpoint; region ops pass through."""
+
+    def __init__(self, fleet: Fleet) -> None:
+        self._fleet = fleet
+
+    def isolate(self, name: str) -> None:
+        self._fleet.isolate_host(name)
+
+    def heal(self, name: str) -> None:
+        self._fleet.heal_host(name)
+
+    def partition_regions(self, region_a: str, region_b: str) -> None:
+        self._fleet.net.partition_regions(region_a, region_b)
+
+    def heal_regions(self, region_a: str, region_b: str) -> None:
+        self._fleet.net.heal_regions(region_a, region_b)
+
+
+class FleetFaultSurface:
+    """Duck-type of the single-ring cluster interface that
+    :class:`~repro.workload.faults.RandomFaultInjector` and
+    :class:`~repro.workload.faults.FaultSchedule` drive — but at
+    physical-host granularity, so one injected fault hits every shard
+    replica on the box. ``primary_service`` rotates deterministically
+    over shards (no RNG draws) so leader-biased injectors spread their
+    attention across rings."""
+
+    def __init__(self, fleet: Fleet) -> None:
+        self.fleet = fleet
+        self.loop = fleet.loop
+        self.net = _PhysicalNetFacade(fleet)
+        self._rotation = 0
+
+    @property
+    def hosts(self) -> dict[str, FleetHost]:
+        return self.fleet.physical
+
+    def primary_service(self):
+        shard_ids = self.fleet.shard_ids()
+        for i in range(len(shard_ids)):
+            shard_id = shard_ids[(self._rotation + i) % len(shard_ids)]
+            primary = self.fleet.rings[shard_id].primary_service()
+            if primary is None:
+                continue
+            self._rotation = (self._rotation + i + 1) % len(shard_ids)
+            physical = self.fleet.placement.get(primary.host.name)
+            if physical is None:
+                continue
+            return _PhysicalPrimaryView(self.fleet.physical[physical])
+        return None
+
+    def crash(self, name: str) -> None:
+        self.fleet.crash_host(name)
+
+    def restart(self, name: str) -> None:
+        self.fleet.restart_host(name)

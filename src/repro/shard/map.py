@@ -1,0 +1,155 @@
+"""The versioned hash-range shard map.
+
+The fleet partitions a 32-bit hash ring into contiguous ranges, each
+owned by exactly one shard (ring). The map is immutable and versioned:
+every ownership or routing change is a new version published by the
+fleet control plane and gossiped to clients. Clients route with whatever
+version they have cached; an endpoint that no longer serves a key under
+the *current* map rejects the request with :class:`WrongShardError`
+carrying the newer map, and the client retries (§repro.shard, the
+fleet-scale deployment of the paper's per-shard rings).
+
+Key hashing uses :func:`zlib.crc32` over a canonical ``table:pk`` string,
+so placement is independent of ``PYTHONHASHSEED`` and stable across
+processes — a map written into a repro bundle routes identically on
+replay.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import ShardError
+
+KEYSPACE = 1 << 32  # the hash ring: [0, 2^32)
+
+
+def key_hash(table: str, pk) -> int:
+    """Deterministic position of (table, pk) on the hash ring."""
+    return zlib.crc32(f"{table}\x00{pk!r}".encode()) % KEYSPACE
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """One immutable version of the fleet's partition + routing table.
+
+    ``ranges`` are ``(lo, hi, shard_id)`` triples, sorted by ``lo``, with
+    ``hi`` exclusive; together they must tile [0, KEYSPACE) exactly.
+    ``routes`` maps each shard to the ordered database endpoints of its
+    ring — position 0 is the primary hint (the ring's primary when this
+    version was published; clients fall back to probing the rest).
+    """
+
+    version: int
+    ranges: tuple = field(default_factory=tuple)
+    routes: tuple = field(default_factory=tuple)  # ((shard_id, (endpoint, ...)), ...)
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ShardError(f"shard map version must be >= 1, got {self.version}")
+        if not self.ranges:
+            raise ShardError("shard map needs at least one range")
+        route_table = dict(self.routes)
+        if len(route_table) != len(self.routes):
+            raise ShardError("duplicate shard in routes")
+        cursor = 0
+        for lo, hi, shard_id in self.ranges:
+            if lo != cursor or hi <= lo:
+                raise ShardError(
+                    f"ranges must tile [0, {KEYSPACE}) exactly; "
+                    f"found ({lo}, {hi}) after {cursor}"
+                )
+            if shard_id not in route_table:
+                raise ShardError(f"range owner {shard_id!r} has no route")
+            cursor = hi
+        if cursor != KEYSPACE:
+            raise ShardError(f"ranges stop at {cursor}, not {KEYSPACE}")
+        seen_endpoints: set[str] = set()
+        for shard_id, endpoints in self.routes:
+            if not endpoints:
+                raise ShardError(f"shard {shard_id!r} has an empty route")
+            for endpoint in endpoints:
+                if endpoint in seen_endpoints:
+                    raise ShardError(
+                        f"endpoint {endpoint!r} appears in two shards' routes"
+                    )
+                seen_endpoints.add(endpoint)
+        object.__setattr__(self, "_route_table", route_table)
+        object.__setattr__(self, "_lows", [lo for lo, _, _ in self.ranges])
+
+    # -- lookup ------------------------------------------------------------------
+
+    def shard_ids(self) -> list[str]:
+        return [shard_id for shard_id, _ in self.routes]
+
+    def owner_of(self, hashed: int) -> str:
+        """The shard owning hash-ring position ``hashed``."""
+        if not 0 <= hashed < KEYSPACE:
+            raise ShardError(f"hash {hashed} outside the ring")
+        index = bisect_right(self._lows, hashed) - 1
+        return self.ranges[index][2]
+
+    def owner_for(self, table: str, pk) -> str:
+        return self.owner_of(key_hash(table, pk))
+
+    def route_of(self, shard_id: str) -> tuple:
+        try:
+            return self._route_table[shard_id]
+        except KeyError as err:
+            raise ShardError(f"unknown shard {shard_id!r}") from err
+
+    def primary_hint(self, shard_id: str) -> str:
+        return self.route_of(shard_id)[0]
+
+    def range_of(self, shard_id: str) -> list[tuple[int, int]]:
+        return [(lo, hi) for lo, hi, owner in self.ranges if owner == shard_id]
+
+    # -- evolution ----------------------------------------------------------------
+
+    def with_route(self, shard_id: str, endpoints) -> "ShardMap":
+        """A new version with ``shard_id``'s route replaced (a shard move
+        or primary-hint refresh). Key ownership is unchanged."""
+        self.route_of(shard_id)  # existence check
+        routes = tuple(
+            (sid, tuple(endpoints) if sid == shard_id else eps)
+            for sid, eps in self.routes
+        )
+        return ShardMap(self.version + 1, self.ranges, routes)
+
+    # -- wire ------------------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "version": self.version,
+            "ranges": [list(r) for r in self.ranges],
+            "routes": {sid: list(eps) for sid, eps in self.routes},
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ShardMap":
+        return cls(
+            int(wire["version"]),
+            tuple((int(lo), int(hi), str(sid)) for lo, hi, sid in wire["ranges"]),
+            tuple(
+                (str(sid), tuple(str(e) for e in eps))
+                for sid, eps in sorted(wire["routes"].items())
+            ),
+        )
+
+    @classmethod
+    def uniform(cls, shard_routes: dict, version: int = 1) -> "ShardMap":
+        """Equal-width ranges over the shard ids of ``shard_routes``
+        (shard id → ordered endpoint names), in sorted shard-id order."""
+        shard_ids = sorted(shard_routes)
+        if not shard_ids:
+            raise ShardError("uniform map needs at least one shard")
+        width = KEYSPACE // len(shard_ids)
+        ranges = []
+        for i, shard_id in enumerate(shard_ids):
+            lo = i * width
+            hi = KEYSPACE if i == len(shard_ids) - 1 else (i + 1) * width
+            ranges.append((lo, hi, shard_id))
+        routes = tuple((sid, tuple(shard_routes[sid])) for sid in shard_ids)
+        return cls(version, tuple(ranges), routes)

@@ -1,0 +1,354 @@
+"""Online shard moves: relocate a ring replica between physical hosts.
+
+The orchestrator composes three existing subsystems into the paper's
+fleet-rebalancing primitive:
+
+1. **snapshot ship** — the leader refreshes its snapshot image and purges
+   the log prefix (``snapshot_and_compact``), so the incoming member
+   bootstraps from the image rather than replaying history;
+2. **membership change** — AddMember the new endpoint, wait for it to
+   catch up the log tail, then RemoveMember the old one (one change at a
+   time, the §2.2 automation recipe);
+3. **write fence** — the cutover RemoveMember is proposed under a brief
+   client-write fence on the primary. The fence closes the stale-route
+   window: a client still holding the pre-move map cannot slip a write
+   through the outgoing replica's ring while the swap commits; once the
+   new map is published, stragglers are bounced by the wrong-owner check
+   and retry against the new route.
+
+Every step journals its completion into :class:`MovePlan` (kept in
+``fleet.move_journal`` — the simulator's stand-in for the control
+plane's durable store) and is idempotent, so an orchestrator that dies
+mid-move is resumed with :meth:`ShardMoveOrchestrator.resume` and
+re-runs only the unfinished suffix. Steps retry across leader changes,
+which is what lets the move drill complete under crash churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.automation import MembershipAutomation
+from repro.errors import (
+    ControlPlaneError,
+    MembershipError,
+    RaftError,
+    ShardError,
+    ShardMoveError,
+    SimError,
+)
+from repro.raft.types import MemberInfo, MemberType
+from repro.sim.coro import Process, spawn, with_timeout
+
+# Journal steps, in order. Each names the *completed* stage.
+STEPS = (
+    "init",        # plan created, nothing done
+    "compacted",   # leader snapshotted + purged: new member will image-bootstrap
+    "allocated",   # new endpoint host/service exists on the target physical host
+    "added",       # AddMember committed: new endpoint is in the ring
+    "caught-up",   # new endpoint holds the leader's committed tail
+    "swapped",     # fenced cutover done: RemoveMember committed, fence lifted
+    "done",        # old endpoint decommissioned, new map version published
+)
+
+# What a step retry loop swallows: leadership churn, in-flight config
+# changes, crashed futures, timeouts. Anything else is a real bug.
+_RETRYABLE = (RaftError, MembershipError, ControlPlaneError, SimError)
+
+
+@dataclass
+class MovePlan:
+    """The journaled control-plane state of one shard move."""
+
+    move_id: str
+    shard_id: str
+    old_name: str
+    new_name: str
+    target_host: str
+    region: str
+    member_type: str = MemberType.VOTER.value
+    has_engine: bool = True
+    step: str = "init"
+    started_at: float = 0.0
+    finished_at: float | None = None
+    fence_seconds: float = 0.0
+    error: str | None = None
+    log: list = field(default_factory=list)  # (time, step) pairs
+
+    def record(self, step: str, now: float) -> None:
+        if step not in STEPS:
+            raise ShardError(f"unknown move step {step!r}")
+        self.step = step
+        self.log.append((now, step))
+
+    def reached(self, step: str) -> bool:
+        return STEPS.index(self.step) >= STEPS.index(step)
+
+    @property
+    def completed(self) -> bool:
+        return self.step == "done"
+
+    def new_member(self) -> MemberInfo:
+        return MemberInfo(
+            self.new_name, self.region, MemberType(self.member_type), self.has_engine
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "move_id": self.move_id,
+            "shard_id": self.shard_id,
+            "old_name": self.old_name,
+            "new_name": self.new_name,
+            "target_host": self.target_host,
+            "region": self.region,
+            "member_type": self.member_type,
+            "has_engine": self.has_engine,
+            "step": self.step,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "fence_seconds": self.fence_seconds,
+            "error": self.error,
+            "log": [list(entry) for entry in self.log],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "MovePlan":
+        plan = cls(
+            move_id=str(wire["move_id"]),
+            shard_id=str(wire["shard_id"]),
+            old_name=str(wire["old_name"]),
+            new_name=str(wire["new_name"]),
+            target_host=str(wire["target_host"]),
+            region=str(wire["region"]),
+            member_type=str(wire["member_type"]),
+            has_engine=bool(wire["has_engine"]),
+            step=str(wire["step"]),
+            started_at=float(wire["started_at"]),
+        )
+        plan.finished_at = wire.get("finished_at")
+        plan.fence_seconds = float(wire.get("fence_seconds", 0.0))
+        plan.error = wire.get("error")
+        plan.log = [tuple(entry) for entry in wire.get("log", [])]
+        return plan
+
+
+class ShardMoveOrchestrator:
+    """Drives :class:`MovePlan` journals to completion against a fleet."""
+
+    def __init__(
+        self,
+        fleet,
+        catchup_timeout: float = 60.0,
+        overall_timeout: float = 120.0,
+        retry_backoff: float = 0.25,
+        force_snapshot: bool = True,
+    ) -> None:
+        self.fleet = fleet
+        self.catchup_timeout = catchup_timeout
+        self.overall_timeout = overall_timeout
+        self.retry_backoff = retry_backoff
+        self.force_snapshot = force_snapshot
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan_move(self, shard_id: str, old_name: str, target_host: str) -> MovePlan:
+        """Journal a move of ``old_name`` (one replica of ``shard_id``)
+        onto ``target_host``. The replacement endpoint keeps the member's
+        region and type — a move relocates, it does not reshape."""
+        ring = self.fleet.ring(shard_id)
+        member = ring.current_membership().member(old_name)
+        if member is None:
+            raise ShardError(f"{old_name!r} is not a member of shard {shard_id}")
+        if target_host not in self.fleet.physical:
+            raise ShardError(f"unknown physical host {target_host!r}")
+        if self.fleet.placement.get(old_name) == target_host:
+            raise ShardError(f"{old_name!r} already lives on {target_host}")
+        sequence = len(self.fleet.move_journal) + 1
+        move_id = f"move{sequence}"
+        kind = "db" if member.has_storage_engine else "lt"
+        plan = MovePlan(
+            move_id=move_id,
+            shard_id=shard_id,
+            old_name=old_name,
+            new_name=f"{shard_id}.{member.region}-{kind}-m{sequence}",
+            target_host=target_host,
+            region=member.region,
+            member_type=member.member_type.value,
+            has_engine=member.has_storage_engine,
+            started_at=self.fleet.loop.now,
+        )
+        self.fleet.move_journal[move_id] = plan
+        return plan
+
+    def start(self, plan: MovePlan) -> Process:
+        return spawn(self.fleet.loop, self._run(plan), label=f"shard-{plan.move_id}")
+
+    def resume(self, move_id: str) -> Process:
+        """Re-drive a journaled move after an orchestrator death: the
+        completed prefix is skipped via the journal, the rest re-runs."""
+        plan = self.fleet.move_journal.get(move_id)
+        if plan is None:
+            raise ShardError(f"no journaled move {move_id!r}")
+        if plan.completed:
+            raise ShardError(f"{move_id} already completed")
+        return self.start(plan)
+
+    def run_move(
+        self, shard_id: str, old_name: str, target_host: str, timeout: float | None = None
+    ) -> MovePlan:
+        """Blocking convenience: plan, drive, and wait for one move."""
+        plan = self.plan_move(shard_id, old_name, target_host)
+        process = self.start(plan)
+        deadline = self.fleet.loop.now + (timeout or self.overall_timeout + 10.0)
+        while not process.done() and self.fleet.loop.now < deadline:
+            self.fleet.run(0.1)
+        if not process.done():
+            raise ShardMoveError(f"{plan.move_id} did not finish in time (at {plan.step})")
+        return process.result()
+
+    # -- the state machine ------------------------------------------------------------
+
+    def _run(self, plan: MovePlan):
+        fleet = self.fleet
+        ring = fleet.ring(plan.shard_id)
+        deadline = fleet.loop.now + self.overall_timeout
+        try:
+            if not plan.reached("compacted"):
+                yield from self._compact(ring, deadline)
+                plan.record("compacted", fleet.loop.now)
+            if not plan.reached("allocated"):
+                self._allocate(ring, plan)
+                plan.record("allocated", fleet.loop.now)
+            if not plan.reached("added"):
+                yield from self._add(ring, plan, deadline)
+                plan.record("added", fleet.loop.now)
+            if not plan.reached("caught-up"):
+                yield from self._catch_up(ring, plan, deadline)
+                plan.record("caught-up", fleet.loop.now)
+            if not plan.reached("swapped"):
+                yield from self._fenced_swap(ring, plan, deadline)
+                plan.record("swapped", fleet.loop.now)
+            if not plan.reached("done"):
+                self._publish(plan)
+                plan.finished_at = fleet.loop.now
+                plan.record("done", fleet.loop.now)
+            plan.error = None
+            return plan
+        except Exception as err:
+            plan.error = f"{type(err).__name__}: {err}"
+            raise
+
+    def _wait_leader(self, ring, deadline):
+        """Coroutine: the ring's current primary, waiting out elections."""
+        while self.fleet.loop.now < deadline:
+            leader = ring.primary_service()
+            if leader is not None:
+                return leader
+            yield self.retry_backoff
+        raise ShardMoveError(f"no leader for {ring.spec.replicaset_id} before deadline")
+
+    def _compact(self, ring, deadline):
+        """Snapshot + purge on the leader so the incoming member
+        bootstraps from the image (repro.snapshot), not the full log."""
+        if not self.force_snapshot:
+            return
+        while True:
+            leader = yield from self._wait_leader(ring, deadline)
+            try:
+                leader.snapshot_and_compact()
+                return
+            except _RETRYABLE:
+                if self.fleet.loop.now >= deadline:
+                    raise
+                yield self.retry_backoff
+
+    def _allocate(self, ring, plan: MovePlan) -> None:
+        if plan.new_name in ring.services:
+            return  # resumed after a death between allocate and journal
+        automation = MembershipAutomation(ring)
+        automation.allocate_member(plan.new_member())
+        self.fleet.adopt_endpoint(plan.shard_id, plan.new_name, plan.target_host)
+
+    def _add(self, ring, plan: MovePlan, deadline):
+        while True:
+            if plan.new_name in ring.current_membership():
+                return  # committed before a previous orchestrator died
+            leader = yield from self._wait_leader(ring, deadline)
+            try:
+                _, add_future = leader.node.add_member(plan.new_member())
+                yield with_timeout(self.fleet.loop, add_future, 10.0)
+                return
+            except _RETRYABLE:
+                if self.fleet.loop.now >= deadline:
+                    raise
+                yield self.retry_backoff
+
+    def _catch_up(self, ring, plan: MovePlan, deadline):
+        stop = min(deadline, self.fleet.loop.now + self.catchup_timeout)
+        while self.fleet.loop.now < stop:
+            leader = ring.primary_service()
+            new_service = ring.services.get(plan.new_name)
+            if (
+                leader is not None
+                and new_service is not None
+                and new_service.host.alive
+                and new_service.node.last_opid.index >= leader.node.commit_index > 0
+            ):
+                return
+            yield 0.1
+        raise ShardMoveError(f"{plan.new_name} did not catch up before deadline")
+
+    def _fenced_swap(self, ring, plan: MovePlan, deadline):
+        """The cutover: fence client writes on the primary, commit
+        RemoveMember(old), unfence. Retries whole attempts across leader
+        churn — the fence is volatile, so a crashed leader leaves no
+        fence behind and the next attempt re-fences the new one."""
+        while True:
+            if plan.old_name not in ring.current_membership():
+                return  # swap committed before a previous orchestrator died
+            leader = yield from self._wait_leader(ring, deadline)
+            if leader.host.name == plan.old_name:
+                # Cannot remove the leader: hand leadership to the caught-up
+                # new member (same region, so FlexiRaft quorums are stable).
+                try:
+                    yield with_timeout(
+                        self.fleet.loop,
+                        leader.node.transfer_leadership(plan.new_name),
+                        10.0,
+                    )
+                except _RETRYABLE:
+                    pass
+                if self.fleet.loop.now >= deadline:
+                    raise ShardMoveError("could not move leadership off the old replica")
+                yield self.retry_backoff
+                continue
+            fence_started = self.fleet.loop.now
+            leader.mysql.disable_client_writes()
+            try:
+                _, remove_future = leader.node.remove_member(plan.old_name)
+                yield with_timeout(self.fleet.loop, remove_future, 10.0)
+                return
+            except _RETRYABLE:
+                if self.fleet.loop.now >= deadline:
+                    raise
+                yield self.retry_backoff
+            finally:
+                plan.fence_seconds += self.fleet.loop.now - fence_started
+                # Unfence whoever we fenced, if still around and leading.
+                if leader.host.alive and leader.node.is_leader:
+                    leader.mysql.enable_client_writes()
+
+    def _publish(self, plan: MovePlan) -> None:
+        self.fleet.decommission_endpoint(plan.old_name)
+        current = self.fleet.current_map
+        route = list(current.route_of(plan.shard_id))
+        if plan.old_name in route:
+            replaced = [
+                plan.new_name if name == plan.old_name else name for name in route
+            ]
+            # Primary hint first: if the ring's primary is known, lead with it.
+            primary = self.fleet.primary_of(plan.shard_id)
+            if primary is not None and primary.host.name in replaced:
+                replaced.remove(primary.host.name)
+                replaced.insert(0, primary.host.name)
+            self.fleet.publish_map(current.with_route(plan.shard_id, replaced))

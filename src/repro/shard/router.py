@@ -1,0 +1,138 @@
+"""Client-side shard routing over a gossiped (possibly stale) map.
+
+A :class:`ShardRouter` is one client's view of the fleet: a cached
+:class:`~repro.shard.map.ShardMap` plus a per-shard endpoint cursor.
+Routing a key means hashing it, looking up the owning shard in the
+*cached* map, and contacting that shard's endpoints starting from the
+primary hint. Two stale-cache paths are modeled explicitly:
+
+- **stale route** (shard moved / endpoint decommissioned): the server
+  side rejects with :class:`WrongShardError` carrying the newer map —
+  the router adopts it and retries (the gossip catch-up);
+- **stale primary hint** (leadership changed without a map publish): the
+  contacted endpoint is alive but not primary — the router probes the
+  shard's other endpoints round-robin with a small backoff, exactly how
+  a MySQL client walks a static endpoint list.
+
+Transactions must be single-shard (:class:`CrossShardError` otherwise) —
+the fleet offers per-shard transactions only, like the paper's MySQL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CrossShardError, ShardError, WrongShardError
+from repro.mysql.server import ServerRole
+from repro.shard.map import ShardMap, key_hash
+
+
+class ShardRouter:
+    """Route client reads/writes to the owning ring's primary."""
+
+    def __init__(
+        self,
+        fleet,
+        shard_map: ShardMap | None = None,
+        max_attempts: int = 120,
+        backoff: float = 0.05,
+    ) -> None:
+        self.fleet = fleet
+        self.map = shard_map if shard_map is not None else fleet.current_map
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.stats = {
+            "routed": 0,
+            "wrong_shard_retries": 0,
+            "map_refreshes": 0,
+            "probes": 0,
+        }
+        self._cursor: dict[str, int] = {}
+
+    # -- map gossip ------------------------------------------------------------------
+
+    def refresh(self, shard_map: ShardMap | None = None) -> None:
+        """Adopt a newer map (from a wrong-shard response or a gossip
+        pull against the fleet)."""
+        newer = shard_map if shard_map is not None else self.fleet.current_map
+        if newer.version > self.map.version:
+            self.map = newer
+            self.stats["map_refreshes"] += 1
+            self._cursor.clear()
+
+    def owner_shard(self, table: str, pk) -> str:
+        return self.map.owner_of(key_hash(table, pk))
+
+    # -- routing ------------------------------------------------------------------
+
+    def resolve(self, table: str, pk):
+        """Coroutine: find the live primary of the shard owning
+        (table, pk). Yields backoffs while probing/refreshing; returns
+        ``(service, shard_id, map_version)``. Raises :class:`ShardError`
+        when the shard stays unavailable past ``max_attempts``."""
+        attempts = 0
+        while True:
+            shard_id = self.map.owner_for(table, pk)
+            route = self.map.route_of(shard_id)
+            endpoint = route[self._cursor.get(shard_id, 0) % len(route)]
+            self.stats["routed"] += 1
+            try:
+                # The contacted endpoint checks ownership under the
+                # fleet's *current* map (our cached one may be stale).
+                self.fleet.check_route(endpoint, table, pk, self.map)
+            except WrongShardError as err:
+                self.stats["wrong_shard_retries"] += 1
+                self.refresh(err.shard_map)
+                attempts += 1
+                if attempts >= self.max_attempts:
+                    raise
+                yield self.backoff
+                continue
+            service = self.fleet.endpoint_service(endpoint)
+            if (
+                service is not None
+                and service.host.alive
+                and getattr(service, "mysql", None) is not None
+                and service.mysql.role == ServerRole.PRIMARY
+                and not service.mysql.read_only
+                and service.node.is_leader
+            ):
+                return service, shard_id, self.map.version
+            # Not primary (failover in progress, fence, crash): probe the
+            # next endpoint on this shard's route.
+            self._cursor[shard_id] = self._cursor.get(shard_id, 0) + 1
+            self.stats["probes"] += 1
+            attempts += 1
+            if attempts >= self.max_attempts:
+                raise ShardError(
+                    f"no writable endpoint for shard {shard_id} after "
+                    f"{attempts} attempts (map v{self.map.version})"
+                )
+            yield self.backoff
+
+    # -- convenience operations ----------------------------------------------------------
+
+    def _single_shard(self, table: str, rows: dict) -> None:
+        owners = {self.owner_shard(table, pk) for pk in rows}
+        if len(owners) > 1:
+            raise CrossShardError(
+                f"transaction spans shards {sorted(owners)}; the fleet "
+                "supports single-shard transactions only"
+            )
+
+    def submit_write(self, table: str, rows: dict):
+        """Coroutine: route and execute one single-shard write. Returns
+        the committed OpId."""
+        self._single_shard(table, rows)
+        first_pk = next(iter(rows))
+        service, shard_id, version = yield from self.resolve(table, first_pk)
+        result = yield service.submit_write(table, rows)
+        for pk in rows:
+            self.fleet.record_serve(version, table, pk, shard_id)
+        return result
+
+    def submit_read(self, table: str, pk):
+        """Coroutine: route and execute one linearizable read. Returns
+        ``(opid, row)``."""
+        service, shard_id, version = yield from self.resolve(table, pk)
+        result = yield service.submit_read(table, pk)
+        self.fleet.record_serve(version, table, pk, shard_id)
+        return result

@@ -1,0 +1,270 @@
+"""Closed-loop clients against a sharded fleet.
+
+Each client owns a :class:`~repro.shard.router.ShardRouter` seeded with
+the map current at client start — a deliberately *cacheable* view, so a
+shard move mid-run exercises the wrong-owner/refresh path rather than a
+god's-eye shortcut. Per-shard latency histograms, throughput series, and
+counters are kept separately during the run and folded into the fleet
+result with ``Histogram.merge`` / ``Series.merge`` at the end.
+
+Key modes:
+
+- ``uniform`` — every operation picks a random key from the key space
+  (the shard-map hash spreads them over rings);
+- ``pinned`` — client ``c`` writes only key ``c`` with monotonically
+  increasing sequence values, which is what lets the shard-move drill
+  prove zero lost/duplicated keys by inspecting final engine content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    MySQLError,
+    RaftError,
+    ReadOnlyError,
+    ReproError,
+    ShardError,
+    SimError,
+)
+from repro.metrics import LatencyHistogram, ThroughputSeries
+from repro.shard.router import ShardRouter
+from repro.sim.coro import spawn
+from repro.sim.network import LatencyModel, LogNormalLatency
+
+
+@dataclass(frozen=True)
+class FleetWorkloadSpec:
+    """A closed-loop workload over every shard of a fleet."""
+
+    name: str
+    clients: int = 4
+    think_time: float = 0.05
+    client_latency: LatencyModel = field(
+        default_factory=lambda: LogNormalLatency(2e-3, 0.2, floor=1e-3)
+    )
+    table: str = "bench"
+    key_space: int = 64
+    value_bytes: int = 64
+    read_fraction: float = 0.0
+    key_mode: str = "uniform"  # "uniform" | "pinned"
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ReproError("fleet workload needs at least one client")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ReproError("read_fraction must be in [0, 1]")
+        if self.key_mode not in ("uniform", "pinned"):
+            raise ReproError(f"unknown key_mode {self.key_mode!r}")
+
+    def sample_think(self, rng) -> float:
+        if self.think_time <= 0:
+            return 0.0
+        return rng.expovariate(1.0 / self.think_time)
+
+
+@dataclass
+class _ShardTally:
+    latency: LatencyHistogram
+    throughput: ThroughputSeries
+    committed: int = 0
+    errors: int = 0
+    reads: int = 0
+
+
+@dataclass
+class FleetWorkloadResult:
+    """The fleet rollup plus the per-shard breakdown it was merged from."""
+
+    name: str
+    latency: LatencyHistogram
+    throughput: ThroughputSeries
+    committed: int = 0
+    errors: int = 0
+    reads: int = 0
+    read_errors: int = 0
+    route_failures: int = 0  # resolve gave up (shard unavailable too long)
+    wrong_shard_retries: int = 0
+    map_refreshes: int = 0
+    per_shard: dict = field(default_factory=dict)  # shard_id -> summary dict
+
+
+class FleetWorkloadRunner:
+    """Closed-loop clients routed across every ring of a fleet."""
+
+    def __init__(self, fleet, spec: FleetWorkloadSpec, throughput_bucket: float = 1.0,
+                 history=None) -> None:
+        self.fleet = fleet
+        self.spec = spec
+        self.rng = fleet.rng.child(f"workload/{spec.name}")
+        self.history = history
+        self._stop_at = 0.0
+        self._seq = dict.fromkeys(range(spec.clients), 0)  # pinned-mode sequences
+        self._routers: list[ShardRouter] = []
+        self._tallies: dict[str, _ShardTally] = {
+            shard_id: _ShardTally(
+                latency=LatencyHistogram(f"{spec.name}/{shard_id}"),
+                throughput=ThroughputSeries(throughput_bucket, f"{spec.name}/{shard_id}"),
+            )
+            for shard_id in fleet.shard_ids()
+        }
+        self._bucket = throughput_bucket
+        self._read_errors = 0
+        self._route_failures = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self, duration: float, warmup: float = 0.0) -> FleetWorkloadResult:
+        loop = self.fleet.loop
+        measure_from = loop.now + warmup
+        self._stop_at = measure_from + duration
+        for client_id in range(self.spec.clients):
+            spawn(
+                loop,
+                self._client(client_id, measure_from),
+                label=f"fleet-client-{client_id}",
+            )
+        self.fleet.run(warmup + duration)
+        return self._merged_result()
+
+    def _merged_result(self) -> FleetWorkloadResult:
+        result = FleetWorkloadResult(
+            name=self.spec.name,
+            latency=LatencyHistogram(self.spec.name),
+            throughput=ThroughputSeries(self._bucket, self.spec.name),
+        )
+        # The satellite merge path: per-ring tallies fold into the fleet
+        # rollup without re-sampling any event.
+        result.latency.merge(*(t.latency for t in self._tallies.values()))
+        result.throughput.merge(*(t.throughput for t in self._tallies.values()))
+        for shard_id, tally in sorted(self._tallies.items()):
+            result.committed += tally.committed
+            result.errors += tally.errors
+            result.reads += tally.reads
+            result.per_shard[shard_id] = {
+                "committed": tally.committed,
+                "errors": tally.errors,
+                "reads": tally.reads,
+                "mean_rate": tally.throughput.mean_rate(),
+            }
+        result.read_errors = self._read_errors
+        result.route_failures = self._route_failures
+        result.errors += self._route_failures
+        for router in self._routers:
+            result.wrong_shard_retries += router.stats["wrong_shard_retries"]
+            result.map_refreshes += router.stats["map_refreshes"]
+        return result
+
+    # -- clients ------------------------------------------------------------------
+
+    def _pick_key(self, client_id: int, rng) -> int:
+        if self.spec.key_mode == "pinned":
+            return client_id % self.spec.key_space
+        return rng.randint(0, self.spec.key_space - 1)
+
+    def _client(self, client_id: int, measure_from: float):
+        loop = self.fleet.loop
+        rng = self.rng.child(f"client{client_id}")
+        # Each client snapshots the map at start; moves published later
+        # reach it only through wrong-owner gossip.
+        router = ShardRouter(self.fleet, shard_map=self.fleet.current_map)
+        self._routers.append(router)
+        while loop.now < self._stop_at:
+            pk = self._pick_key(client_id, rng)
+            is_read = (
+                self.spec.read_fraction > 0
+                and rng.random() < self.spec.read_fraction
+            )
+            if is_read:
+                yield from self._one_read(client_id, router, pk, rng, measure_from)
+            else:
+                yield from self._one_write(client_id, router, pk, rng, measure_from)
+            think = self.spec.sample_think(rng)
+            if think > 0:
+                yield think
+
+    def _resolve(self, router: ShardRouter, pk):
+        """Route with give-up accounting; returns None when the owning
+        shard stayed unavailable past the router's patience."""
+        try:
+            resolved = yield from router.resolve(self.spec.table, pk)
+            return resolved
+        except ShardError:
+            self._route_failures += 1
+            return None
+
+    def _one_write(self, client_id: int, router: ShardRouter, pk, rng, measure_from):
+        loop = self.fleet.loop
+        self._seq[client_id] += 1
+        value = f"c{client_id}.{self._seq[client_id]}"
+        rows = {pk: {"id": pk, "v": value, "pad": "x" * self.spec.value_bytes}}
+        op = None
+        if self.history is not None:
+            op = self.history.invoke(client_id, "write", (self.spec.table, pk), value)
+        started = loop.now
+        yield self.spec.client_latency.sample(rng)  # request flight
+        resolved = yield from self._resolve(router, pk)
+        if resolved is None:
+            if op is not None:
+                self.history.fail(op, definite=True)  # nothing was submitted
+            return
+        service, shard_id, version = resolved
+        try:
+            process = service.submit_write(self.spec.table, rows)
+            yield process
+        except Exception as err:  # noqa: BLE001 - demotion/crash mid-write
+            self._tallies[shard_id].errors += 1
+            if op is not None:
+                # Rejected before submission → definitely not applied;
+                # anything later is indeterminate (a future leader may
+                # commit the suffix holding it).
+                self.history.fail(op, definite=isinstance(err, ReadOnlyError))
+            yield 0.02
+            return
+        yield self.spec.client_latency.sample(rng)  # response flight
+        finished = loop.now
+        if op is not None:
+            self.history.complete(op)
+        self.fleet.record_serve(version, self.spec.table, pk, shard_id)
+        if started >= measure_from and finished <= self._stop_at:
+            tally = self._tallies[shard_id]
+            tally.latency.record(finished - started)
+            tally.throughput.record(finished)
+            tally.committed += 1
+
+    def _one_read(self, client_id: int, router: ShardRouter, pk, rng, measure_from):
+        loop = self.fleet.loop
+        op = None
+        if self.history is not None:
+            op = self.history.invoke(client_id, "read", (self.spec.table, pk))
+        started = loop.now
+        yield self.spec.client_latency.sample(rng)  # request flight
+        resolved = yield from self._resolve(router, pk)
+        if resolved is None:
+            if op is not None:
+                self.history.fail(op, definite=True)
+            return
+        service, shard_id, version = resolved
+        self._tallies[shard_id].reads += 1
+        try:
+            process = service.submit_read(self.spec.table, pk)
+            outcome = yield process
+        except (MySQLError, RaftError, SimError):  # demotion/crash mid-read
+            self._tallies[shard_id].errors += 1
+            self._read_errors += 1
+            if op is not None:
+                self.history.fail(op, definite=True)  # reads constrain nothing
+            yield 0.02
+            return
+        yield self.spec.client_latency.sample(rng)  # response flight
+        finished = loop.now
+        if op is not None:
+            _opid, row = outcome
+            self.history.complete(op, value=row["v"] if row is not None else None)
+        self.fleet.record_serve(version, self.spec.table, pk, shard_id)
+        if started >= measure_from and finished <= self._stop_at:
+            tally = self._tallies[shard_id]
+            tally.latency.record(finished - started)
+            tally.throughput.record(finished)
+            tally.committed += 1

@@ -1,0 +1,108 @@
+"""FleetSpec placement edge cases: uneven shard counts, single-region
+fleets, colocation, and the name-prefix plumbing the fleet relies on."""
+
+import pytest
+
+from repro.cluster.topology import FleetSpec, RegionSpec, ReplicaSetSpec
+from repro.errors import ReproError
+
+
+class TestNamePrefix:
+    def test_prefix_applies_to_names_not_regions(self):
+        spec = ReplicaSetSpec(
+            "s3", (RegionSpec("west", databases=1, logtailers=1),), name_prefix="s3."
+        )
+        members = spec.members()
+        assert {m.name for m in members} == {"s3.west-db1", "s3.west-lt1"}
+        # Region names stay real: latency and FlexiRaft quorums see the
+        # actual region, not a shard-qualified alias.
+        assert {m.region for m in members} == {"west"}
+        assert spec.initial_primary() == "s3.west-db1"
+
+    def test_default_prefix_is_empty(self):
+        spec = ReplicaSetSpec("rs", (RegionSpec("a"),))
+        assert spec.initial_primary() == "a-db1"
+
+
+class TestUnevenShardCounts:
+    def test_more_shards_than_hosts(self):
+        # 5 shards over 3 regions x 2 hosts: placement must stay total
+        # and per-region, with leaders wrapping round-robin.
+        spec = FleetSpec(num_shards=5)
+        placement = spec.placement()
+        endpoints = {
+            m.name for sid in spec.shard_ids() for m in spec.ring_spec(sid).members()
+        }
+        assert set(placement) == endpoints
+        hosts = dict(spec.physical_hosts())
+        for endpoint, host in placement.items():
+            assert host in hosts
+            region = endpoint.split(".", 1)[1].rsplit("-", 1)[0]
+            assert hosts[host] == region
+
+    def test_initial_primaries_wrap_regions(self):
+        spec = FleetSpec(num_shards=5)
+        primaries = [spec.ring_spec(sid).initial_primary() for sid in spec.shard_ids()]
+        regions = [name.split(".", 1)[1].rsplit("-", 1)[0] for name in primaries]
+        assert regions == ["region0", "region1", "region2", "region0", "region1"]
+
+    def test_colocation_when_shards_exceed_hosts(self):
+        # 5 shards' primaries in region0: s0 and s3 both start there; with
+        # 2 hosts, some host carries db replicas of several shards.
+        spec = FleetSpec(num_shards=5)
+        placement = spec.placement()
+        per_host_dbs: dict[str, int] = {}
+        for endpoint, host in placement.items():
+            if "-db" in endpoint:
+                per_host_dbs[host] = per_host_dbs.get(host, 0) + 1
+        assert max(per_host_dbs.values()) > 1
+
+    def test_shard_offset_spreads_within_region(self):
+        # Consecutive shards start their per-region placement at different
+        # host slots, so their primaries do not stack on one box.
+        spec = FleetSpec(num_shards=2)
+        placement = spec.placement()
+        # s0's region0 db starts at slot 0; s1's region0 members shift by 1.
+        assert placement["s0.region0-db1"] != placement["s1.region0-db1"]
+
+
+class TestSingleRegionFleet:
+    def test_single_region_rings(self):
+        spec = FleetSpec(
+            num_shards=3, regions=("only",), hosts_per_region=3
+        )
+        for shard_id in spec.shard_ids():
+            ring = spec.ring_spec(shard_id)
+            assert [r.name for r in ring.regions] == ["only"]
+            assert ring.initial_primary() == f"{shard_id}.only-db1"
+        placement = spec.placement()
+        assert set(placement.values()) <= {"only-h1", "only-h2", "only-h3"}
+
+    def test_rotation_is_identity_with_one_region(self):
+        spec = FleetSpec(num_shards=2, regions=("r",))
+        assert spec._rotated_regions(0) == spec._rotated_regions(1) == ["r"]
+
+
+class TestValidationAndLookup:
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ReproError):
+            FleetSpec(num_shards=0)
+        with pytest.raises(ReproError):
+            FleetSpec(hosts_per_region=0)
+        with pytest.raises(ReproError):
+            FleetSpec(regions=())
+        with pytest.raises(ReproError):
+            FleetSpec(regions=("a", "a"))
+
+    def test_shard_id_parsing(self):
+        spec = FleetSpec(num_shards=2)
+        with pytest.raises(ReproError):
+            spec.ring_spec("s7")
+        with pytest.raises(ReproError):
+            spec.ring_spec("shard-one")
+
+    def test_host_for(self):
+        spec = FleetSpec(num_shards=2)
+        assert spec.host_for("s0.region0-db1") == spec.placement()["s0.region0-db1"]
+        with pytest.raises(ReproError):
+            spec.host_for("nope")

@@ -1,0 +1,81 @@
+"""Histogram.merge / Series.merge — the fleet aggregation path."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import LatencyHistogram, ThroughputSeries
+
+
+class TestHistogramMerge:
+    def test_merge_is_sample_union(self):
+        a = LatencyHistogram("a")
+        b = LatencyHistogram("b")
+        c = LatencyHistogram("c")
+        a.extend([1.0, 2.0])
+        b.extend([3.0])
+        c.extend([4.0, 5.0])
+        merged = a.merge(b, c)
+        assert merged is a  # chains in place
+        assert a.count == 5
+        assert a.min() == 1.0 and a.max() == 5.0
+        assert a.mean() == pytest.approx(3.0)
+
+    def test_merge_invalidates_percentile_cache(self):
+        a = LatencyHistogram()
+        a.extend([1.0, 2.0, 3.0])
+        assert a.percentile(50) == 2.0  # populate the sorted cache
+        b = LatencyHistogram()
+        b.extend([10.0, 11.0, 12.0])
+        a.merge(b)
+        assert a.percentile(100) == 12.0
+
+    def test_merge_empty_and_into_empty(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        b.record(7.0)
+        a.merge(b)
+        assert a.count == 1
+        a.merge(LatencyHistogram())
+        assert a.count == 1
+
+    def test_sources_unchanged(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        b.extend([1.0, 2.0])
+        a.merge(b)
+        assert b.count == 2
+
+
+class TestSeriesMerge:
+    def test_bucketwise_sum(self):
+        a = ThroughputSeries(1.0, "a")
+        b = ThroughputSeries(1.0, "b")
+        for t in (0.1, 0.2, 2.5):
+            a.record(t)
+        for t in (0.9, 1.5):
+            b.record(t)
+        a.merge(b)
+        assert a.total == 5
+        assert a.counts() == [3, 1, 1]  # {0.1, 0.2, 0.9}, {1.5}, {2.5}
+
+    def test_mean_rate_reflects_union(self):
+        a = ThroughputSeries(1.0)
+        b = ThroughputSeries(1.0)
+        for t in (0.5, 1.5):
+            a.record(t)
+        b.record(0.7)
+        a.merge(b)
+        assert a.mean_rate() == pytest.approx(3 / 2.0)
+
+    def test_mismatched_bucket_width_rejected(self):
+        a = ThroughputSeries(1.0)
+        b = ThroughputSeries(0.5)
+        with pytest.raises(ReproError):
+            a.merge(b)
+
+    def test_merge_chains_multiple(self):
+        a, b, c = ThroughputSeries(2.0), ThroughputSeries(2.0), ThroughputSeries(2.0)
+        a.record(0.0)
+        b.record(1.0)
+        c.record(3.0)
+        assert a.merge(b, c) is a
+        assert a.total == 3

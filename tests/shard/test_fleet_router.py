@@ -1,0 +1,179 @@
+"""Fleet bootstrap, placement wiring, routing, and stale-map retry."""
+
+import pytest
+
+from repro.cluster.topology import FleetSpec
+from repro.errors import CrossShardError, WrongShardError
+from repro.shard import Fleet, ShardMoveOrchestrator
+from repro.shard.map import key_hash
+from repro.sim.coro import spawn
+
+
+def small_fleet(num_shards: int = 2, seed: int = 7) -> Fleet:
+    fleet = Fleet(FleetSpec(num_shards=num_shards), seed=seed, trace_capacity=256)
+    fleet.bootstrap(timeout=30.0)
+    return fleet
+
+
+def drive(fleet: Fleet, coro, timeout: float = 30.0):
+    process = spawn(fleet.loop, coro, label="test-driver")
+    deadline = fleet.loop.now + timeout
+    while not process.done() and fleet.loop.now < deadline:
+        fleet.run(0.05)
+    assert process.done(), "driver did not finish in sim time"
+    return process.result()
+
+
+class TestFleetBootstrap:
+    def test_every_shard_elects_a_primary(self):
+        fleet = small_fleet(num_shards=3)
+        for shard_id in fleet.shard_ids():
+            assert fleet.primary_of(shard_id) is not None
+
+    def test_leaders_spread_over_physical_hosts(self):
+        # Region rotation puts each shard's initial primary in a different
+        # region, so freshly bootstrapped leaders never stack on one box.
+        fleet = small_fleet(num_shards=3)
+        hosts = {
+            fleet.placement[fleet.primary_of(s).host.name] for s in fleet.shard_ids()
+        }
+        assert len(hosts) == 3
+
+    def test_endpoints_grouped_under_physical_hosts(self):
+        fleet = small_fleet()
+        for endpoint, physical in fleet.placement.items():
+            assert fleet.ring_of_endpoint(endpoint) is not None
+            owner = fleet.physical[physical]
+            names = {h.name for h in owner.endpoints}
+            assert endpoint in names
+
+    def test_physical_crash_hits_all_colocated_endpoints(self):
+        fleet = small_fleet()
+        name, fleet_host = next(
+            (n, h) for n, h in sorted(fleet.physical.items())
+            if len(h.endpoints) > 1
+        )
+        fleet.crash_host(name)
+        assert all(not h.alive for h in fleet_host.endpoints)
+        fleet.restart_host(name)
+        assert fleet_host.alive
+
+    def test_stats_rollup(self):
+        fleet = small_fleet(num_shards=3)
+        stats = fleet.stats()
+        assert set(stats["shards"]) == set(fleet.shard_ids())
+        assert sum(stats["leaders_per_host"].values()) == 3
+        assert stats["map_version"] == 1
+        for shard_stats in stats["shards"].values():
+            assert shard_stats["leader"] is not None
+
+    def test_ring_id_labels_node_stats(self):
+        fleet = small_fleet()
+        primary = fleet.primary_of("s1")
+        assert primary.node.stats()["ring_id"] == "s1"
+
+
+class TestRouting:
+    def test_routed_writes_land_on_owning_ring(self):
+        fleet = small_fleet()
+        router = fleet.router()
+
+        def writes():
+            for pk in range(8):
+                yield from router.submit_write("t", {pk: {"id": pk, "v": pk}})
+
+        drive(fleet, writes())
+        fleet.run(2.0)
+        # Each key is on its owner's ring and nowhere else.
+        for pk in range(8):
+            owner = fleet.current_map.owner_for("t", pk)
+            for shard_id in fleet.shard_ids():
+                engine = fleet.primary_of(shard_id).mysql.engine
+                row = engine.table("t").get(pk)
+                if shard_id == owner:
+                    assert row is not None and row["v"] == pk
+                else:
+                    assert row is None
+
+    def test_routed_read_returns_committed_value(self):
+        fleet = small_fleet()
+        router = fleet.router()
+
+        def rw():
+            yield from router.submit_write("t", {5: {"id": 5, "v": "val"}})
+            _opid, row = yield from router.submit_read("t", 5)
+            return row
+
+        row = drive(fleet, rw())
+        assert row["v"] == "val"
+
+    def test_cross_shard_write_rejected(self):
+        fleet = small_fleet()
+        router = fleet.router()
+        # Find two keys owned by different shards.
+        by_owner = {}
+        for pk in range(64):
+            by_owner.setdefault(fleet.current_map.owner_for("t", pk), pk)
+            if len(by_owner) == 2:
+                break
+        rows = {pk: {"id": pk} for pk in by_owner.values()}
+        with pytest.raises(CrossShardError):
+            drive(fleet, router.submit_write("t", rows))
+
+    def test_key_hash_split_uses_ranges(self):
+        fleet = small_fleet()
+        shard_map = fleet.current_map
+        pk = 3
+        owner = shard_map.owner_for("t", pk)
+        (lo, hi), = shard_map.range_of(owner)
+        assert lo <= key_hash("t", pk) < hi
+
+
+class TestStaleMapRetry:
+    def test_wrong_shard_error_carries_current_map(self):
+        fleet = small_fleet()
+        stale = fleet.current_map
+        shard_id = fleet.shard_ids()[0]
+        # Publish a route change; the old primary hint goes stale.
+        new_route = ("replacement-endpoint",) + stale.route_of(shard_id)[1:]
+        fleet.publish_map(stale.with_route(shard_id, new_route))
+        old_hint = stale.primary_hint(shard_id)
+        pk = next(
+            k for k in range(64) if fleet.current_map.owner_for("t", k) == shard_id
+        )
+        with pytest.raises(WrongShardError) as exc:
+            fleet.check_route(old_hint, "t", pk, stale)
+        assert exc.value.shard_map.version == stale.version + 1
+
+    def test_stale_router_recovers_after_primary_move(self):
+        """The satellite's router-retry drill: a client cached map v1,
+        then the fleet moved the very endpoint the client's primary hint
+        names. The client's next write must hit WrongShardError, adopt
+        the v2 map from the rejection, and commit via the new route."""
+        fleet = small_fleet()
+        shard_id = fleet.shard_ids()[0]
+        stale_router = fleet.router(fleet.current_map)  # cached v1
+
+        # Move the shard's primary db endpoint to the other host in its
+        # region (the orchestrator transfers leadership off it first).
+        old_name = fleet.current_map.primary_hint(shard_id)
+        region = fleet.physical[fleet.placement[old_name]].region
+        target = next(
+            n for n, h in sorted(fleet.physical.items())
+            if h.region == region and n != fleet.placement[old_name]
+        )
+        plan = ShardMoveOrchestrator(fleet).run_move(shard_id, old_name, target)
+        assert plan.completed
+        assert fleet.current_map.version == 2
+        assert old_name not in fleet.current_map.route_of(shard_id)
+
+        pk = next(
+            k for k in range(64) if fleet.current_map.owner_for("t", k) == shard_id
+        )
+        drive(fleet, stale_router.submit_write("t", {pk: {"id": pk, "v": "post-move"}}))
+        assert stale_router.stats["wrong_shard_retries"] >= 1
+        assert stale_router.stats["map_refreshes"] >= 1
+        assert stale_router.map.version == 2
+        owner_engine = fleet.primary_of(shard_id).mysql.engine
+        fleet.run(1.0)
+        assert owner_engine.table("t").get(pk)["v"] == "post-move"

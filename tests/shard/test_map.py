@@ -1,0 +1,80 @@
+"""ShardMap: hash-range partitioning, versioning, wire format."""
+
+import pytest
+
+from repro.errors import ReproError, ShardError
+from repro.shard.map import KEYSPACE, ShardMap, key_hash
+
+
+def two_shard_map() -> ShardMap:
+    return ShardMap.uniform({"s0": ("s0.a-db1",), "s1": ("s1.b-db1",)})
+
+
+class TestKeyHash:
+    def test_deterministic_and_hashseed_independent(self):
+        # crc32-based: must not move between interpreter runs.
+        assert key_hash("bench", 42) == 1331758529
+
+    def test_table_qualified(self):
+        assert key_hash("t1", 7) != key_hash("t2", 7)
+
+    def test_range(self):
+        for pk in (0, "abc", (1, 2), 10**9):
+            assert 0 <= key_hash("t", pk) < KEYSPACE
+
+
+class TestShardMap:
+    def test_uniform_tiles_keyspace(self):
+        shard_map = ShardMap.uniform({f"s{i}": (f"s{i}.db",) for i in range(3)})
+        assert shard_map.ranges[0][0] == 0
+        assert shard_map.ranges[-1][1] == KEYSPACE
+        for (_, hi, _), (lo, _, _) in zip(shard_map.ranges, shard_map.ranges[1:]):
+            assert hi == lo
+
+    def test_owner_lookup(self):
+        shard_map = two_shard_map()
+        half = KEYSPACE // 2
+        assert shard_map.owner_of(0) == "s0"
+        assert shard_map.owner_of(half - 1) == "s0"
+        assert shard_map.owner_of(half) == "s1"
+        assert shard_map.owner_of(KEYSPACE - 1) == "s1"
+
+    def test_owner_for_agrees_with_hash(self):
+        shard_map = two_shard_map()
+        for pk in range(32):
+            assert shard_map.owner_for("t", pk) == shard_map.owner_of(key_hash("t", pk))
+
+    def test_primary_hint_is_first(self):
+        shard_map = ShardMap.uniform({"s0": ("s0.p", "s0.q")})
+        assert shard_map.primary_hint("s0") == "s0.p"
+
+    def test_with_route_bumps_version_only(self):
+        shard_map = two_shard_map()
+        updated = shard_map.with_route("s1", ("s1.c-db1",))
+        assert updated.version == shard_map.version + 1
+        assert updated.ranges == shard_map.ranges
+        assert updated.route_of("s1") == ("s1.c-db1",)
+        assert updated.route_of("s0") == shard_map.route_of("s0")
+
+    def test_wire_roundtrip(self):
+        shard_map = two_shard_map().with_route("s0", ("s0.x", "s0.y"))
+        clone = ShardMap.from_wire(shard_map.to_wire())
+        assert clone.version == shard_map.version
+        assert clone.ranges == shard_map.ranges
+        assert clone.routes == shard_map.routes
+
+    def test_gap_rejected(self):
+        with pytest.raises(ReproError):
+            ShardMap(
+                version=1,
+                ranges=((0, 10, "s0"), (11, KEYSPACE, "s1")),
+                routes=(("s0", ("a",)), ("s1", ("b",))),
+            )
+
+    def test_shared_endpoint_rejected(self):
+        with pytest.raises(ReproError):
+            ShardMap.uniform({"s0": ("same",), "s1": ("same",)})
+
+    def test_unknown_shard_route_rejected(self):
+        with pytest.raises(ShardError):
+            two_shard_map().route_of("s9")

@@ -1,0 +1,162 @@
+"""Online shard moves: the journaled state machine and its resumability."""
+
+import pytest
+
+from repro.cluster.topology import FleetSpec
+from repro.errors import ShardError
+from repro.shard import Fleet, ShardMoveOrchestrator
+
+
+def fleet_and_orchestrator(seed: int = 5):
+    fleet = Fleet(FleetSpec(num_shards=2), seed=seed, trace_capacity=256)
+    fleet.bootstrap(timeout=30.0)
+    return fleet, ShardMoveOrchestrator(fleet)
+
+
+def movable_replica(fleet: Fleet, shard_id: str):
+    """A non-primary database replica and a target host in its region."""
+    ring = fleet.ring(shard_id)
+    primary = ring.primary_service().host.name
+    old_name = sorted(
+        m.name
+        for m in ring.current_membership().members
+        if m.has_storage_engine and m.name != primary
+    )[0]
+    member = ring.current_membership().member(old_name)
+    source = fleet.placement[old_name]
+    target = next(
+        n for n, h in sorted(fleet.physical.items())
+        if h.region == member.region and n != source
+    )
+    return old_name, target
+
+
+class TestMoveLifecycle:
+    def test_full_move(self):
+        fleet, orchestrator = fleet_and_orchestrator()
+        shard_id = fleet.shard_ids()[0]
+        ring = fleet.ring(shard_id)
+        old_name, target = movable_replica(fleet, shard_id)
+
+        plan = orchestrator.run_move(shard_id, old_name, target)
+
+        assert plan.completed
+        assert plan.error is None
+        membership = {m.name for m in ring.current_membership().members}
+        assert old_name not in membership
+        assert plan.new_name in membership
+        assert fleet.placement[plan.new_name] == target
+        # Old endpoint is fully decommissioned from fleet books.
+        assert fleet.ring_of_endpoint(old_name) is None
+        assert old_name not in ring.services
+        # Route published under a new map version.
+        assert fleet.current_map.version == 2
+        route = fleet.current_map.route_of(shard_id)
+        assert plan.new_name in route and old_name not in route
+        # Fence was brief (sub-second even with retries).
+        assert plan.fence_seconds < 1.0
+        # Journal records every step in order.
+        steps = [step for _, step in plan.log]
+        assert steps == [
+            "compacted", "allocated", "added", "caught-up", "swapped", "done",
+        ]
+
+    def test_ring_converges_after_move(self):
+        fleet, orchestrator = fleet_and_orchestrator()
+        shard_id = fleet.shard_ids()[1]
+        primary = fleet.primary_of(shard_id)
+
+        def writes():
+            for pk in range(6):
+                yield primary.submit_write("t", {pk: {"id": pk, "v": pk}})
+
+        from repro.sim.coro import spawn
+
+        spawn(fleet.loop, writes(), label="writes")
+        fleet.run(2.0)
+        old_name, target = movable_replica(fleet, shard_id)
+        plan = orchestrator.run_move(shard_id, old_name, target)
+        assert plan.completed
+        deadline = fleet.loop.now + 20.0
+        while fleet.loop.now < deadline and not fleet.converged():
+            fleet.run(0.25)
+        assert fleet.converged()
+        # The relocated replica has the data (it image-bootstrapped).
+        new_service = fleet.ring(shard_id).services[plan.new_name]
+        assert new_service.mysql.engine.table("t").get(3) is not None
+
+    def test_plan_validation(self):
+        fleet, orchestrator = fleet_and_orchestrator()
+        shard_id = fleet.shard_ids()[0]
+        old_name, target = movable_replica(fleet, shard_id)
+        with pytest.raises(ShardError):
+            orchestrator.plan_move(shard_id, "nobody", target)
+        with pytest.raises(ShardError):
+            orchestrator.plan_move(shard_id, old_name, "no-such-host")
+        with pytest.raises(ShardError):
+            orchestrator.plan_move(shard_id, old_name, fleet.placement[old_name])
+
+
+class TestMoveResumability:
+    def test_resume_after_orchestrator_death(self):
+        """Kill the driving process mid-move; a fresh orchestrator must
+        resume from the journal and only run the unfinished suffix."""
+        fleet, orchestrator = fleet_and_orchestrator()
+        shard_id = fleet.shard_ids()[0]
+        ring = fleet.ring(shard_id)
+        old_name, target = movable_replica(fleet, shard_id)
+        plan = orchestrator.plan_move(shard_id, old_name, target)
+        process = orchestrator.start(plan)
+
+        # Let it get partway (past the snapshot, before completion), then
+        # die. Fine-grained stepping so the kill lands mid-move.
+        deadline = fleet.loop.now + 30.0
+        while not plan.reached("compacted") and fleet.loop.now < deadline:
+            fleet.run(0.01)
+        process.kill()
+        assert plan.reached("compacted") and not plan.completed
+
+        # A new orchestrator (fresh process, same journal) finishes it.
+        resumed = ShardMoveOrchestrator(fleet).resume(plan.move_id)
+        finish_deadline = fleet.loop.now + 60.0
+        while not resumed.done() and fleet.loop.now < finish_deadline:
+            fleet.run(0.1)
+        assert resumed.done() and resumed.exception() is None
+        assert plan.completed
+        # No completed step was re-run: each appears exactly once.
+        steps_after = [step for _, step in plan.log]
+        assert steps_after.count("compacted") == 1
+        assert steps_after.count("added") == 1
+        assert steps_after[-1] == "done"
+        membership = {m.name for m in ring.current_membership().members}
+        assert old_name not in membership and plan.new_name in membership
+        assert fleet.current_map.version == 2
+
+    def test_resume_unknown_or_finished_move_rejected(self):
+        fleet, orchestrator = fleet_and_orchestrator()
+        with pytest.raises(ShardError):
+            orchestrator.resume("move99")
+        shard_id = fleet.shard_ids()[0]
+        old_name, target = movable_replica(fleet, shard_id)
+        plan = orchestrator.run_move(shard_id, old_name, target)
+        with pytest.raises(ShardError):
+            orchestrator.resume(plan.move_id)
+
+    def test_moves_journal_in_fleet_stats(self):
+        fleet, orchestrator = fleet_and_orchestrator()
+        shard_id = fleet.shard_ids()[0]
+        old_name, target = movable_replica(fleet, shard_id)
+        plan = orchestrator.run_move(shard_id, old_name, target)
+        assert fleet.stats()["moves"] == {plan.move_id: "done"}
+
+    def test_plan_wire_roundtrip(self):
+        fleet, orchestrator = fleet_and_orchestrator()
+        shard_id = fleet.shard_ids()[0]
+        old_name, target = movable_replica(fleet, shard_id)
+        plan = orchestrator.run_move(shard_id, old_name, target)
+        from repro.shard.move import MovePlan
+
+        clone = MovePlan.from_wire(plan.to_wire())
+        assert clone.completed
+        assert clone.new_name == plan.new_name
+        assert clone.log == plan.log
