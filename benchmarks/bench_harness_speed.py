@@ -1,0 +1,122 @@
+"""Harness-speed bench (repro.experiments.harness_speed).
+
+Acceptance gates for the harness-speed work:
+
+* the parallel explorer's verdict digests and repro bundles are
+  byte-identical to a serial sweep (always enforced);
+* ``jobs=4`` sweeps the seed batch >= 2x faster than ``jobs=1`` —
+  enforced only when the machine actually has >= 4 effective CPUs
+  (a 1-CPU container cannot demonstrate a speedup, but it can still
+  prove determinism);
+* the profiler's off-mode overhead is <= 2% of a driven run's wall
+  time (estimated from a no-op dispatch microbench).
+
+Two entry points:
+
+* ``python benchmarks/bench_harness_speed.py [--smoke] [--out FILE]
+  [--baseline FILE]`` runs the suite, prints the report, writes
+  ``BENCH_harness_speed.json``, soft-checks wall time against a
+  committed baseline (warns, never fails), and exits non-zero if a
+  hard gate fails.
+* ``pytest benchmarks/bench_harness_speed.py`` runs the same thing
+  under pytest-benchmark (``HARNESS_SPEED_SEEDS`` scales the batch).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.harness_speed import HarnessSpeedResult, run_harness_speed
+
+SEEDS = int(os.environ.get("HARNESS_SPEED_SEEDS", "8"))
+SMOKE_SEEDS = 4
+JOBS = 4
+# Soft wall-time regression bar: warn when the single-run wall time
+# exceeds the committed baseline by this factor (never a hard failure —
+# absolute wall time is machine-dependent).
+BASELINE_SLACK = 1.5
+
+
+def check_gates(result: HarnessSpeedResult, smoke: bool = False) -> None:
+    assert result.digests_match, (
+        "parallel sweep digests diverged from the serial sweep"
+    )
+    assert result.bundles_match, "parallel repro bundles are not byte-identical"
+    assert result.bundle_count >= 1, "bundle batch produced no bundles to compare"
+    assert result.dispatch_overhead_frac <= 0.02, (
+        f"profiler off-mode overhead {result.dispatch_overhead_frac * 100:.2f}% "
+        f"exceeds the 2% budget"
+    )
+    if result.effective_cpus >= JOBS:
+        assert result.speedup >= 2.0, (
+            f"jobs={result.jobs} only {result.speedup:.2f}x faster than serial "
+            f"on {result.effective_cpus} CPUs"
+        )
+
+
+def soft_baseline_check(result: HarnessSpeedResult, path: str) -> None:
+    """Warn (never fail) when the single-run wall time regressed past
+    the committed baseline by more than BASELINE_SLACK."""
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        print(f"baseline {path}: not found or unreadable, skipping soft check")
+        return
+    before = baseline.get("single_run_wall")
+    if not before:
+        return
+    ratio = result.single_run_wall / before
+    if ratio > BASELINE_SLACK:
+        print(
+            f"WARNING: single-run wall {result.single_run_wall:.2f}s is "
+            f"{ratio:.2f}x the committed baseline {before:.2f}s "
+            f"(soft check, not failing the build)"
+        )
+    else:
+        print(f"baseline soft check: {ratio:.2f}x committed wall time, ok")
+
+
+def test_harness_speed(benchmark, report_printer):
+    result = benchmark.pedantic(
+        lambda: run_harness_speed(seeds=SEEDS, jobs=JOBS), rounds=1, iterations=1
+    )
+    report_printer(result.format_report())
+    check_gates(result, smoke=SEEDS < 8)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small batch ({SMOKE_SEEDS} seeds) for CI",
+    )
+    parser.add_argument("--seeds", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=JOBS)
+    parser.add_argument("--out", default="BENCH_harness_speed.json")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_harness_speed.json to soft-compare wall time against",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = args.seeds if args.seeds is not None else (
+        SMOKE_SEEDS if args.smoke else SEEDS
+    )
+    result = run_harness_speed(seeds=seeds, jobs=args.jobs)
+    print(result.format_report())
+    payload = result.to_json()
+    payload["smoke"] = bool(args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if args.baseline:
+        soft_baseline_check(result, args.baseline)
+    check_gates(result, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,14 @@
 Sweep (the default)::
 
     python -m repro.check --seeds 200
+    python -m repro.check --seeds 200 --jobs 4    # 4 worker processes
     python -m repro.check --smoke                 # 25-seed PR gate
     python -m repro.check --scenario leader-crash-loop --seeds 50
+
+``--jobs N`` fans seeds out to N worker processes (0 = one per CPU).
+Each seed is an independent deterministic simulation and results merge
+back in sweep order, so verdicts, digests, and repro bundles are
+byte-identical for every N.
 
 Bundles::
 
@@ -60,6 +66,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--smoke", action="store_true",
         help="PR-gate batch: 25 seeds across every scenario",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (0 = one per available "
+        "CPU); results merge in deterministic seed order, so verdicts, "
+        "digests, and bundles are identical for every N",
     )
     parser.add_argument(
         "--mutate", default=None, metavar="NAME",
@@ -130,7 +142,10 @@ def _cmd_shrink(path: Path, quiet: bool) -> int:
 def _run_sweep(args) -> int:
     names = args.scenario or sorted(SCENARIOS)
     seeds = list(range(args.base_seed, args.base_seed + (25 if args.smoke else args.seeds)))
-    report = explore(names, seeds, bundle_dir=args.bundle_dir, log=_log(args.quiet))
+    report = explore(
+        names, seeds, bundle_dir=args.bundle_dir, log=_log(args.quiet),
+        jobs=args.jobs,
+    )
     print(f"sweep: {report.runs} runs, {len(report.failures)} failures")
     for bundle in report.bundles:
         print(f"  bundle: {bundle}")

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
+from repro import profile as _profile
 from repro.check.history import HistoryRecorder, check_linearizable
 from repro.check.invariants import InvariantSuite
 from repro.check.mutations import apply_mutation
@@ -155,7 +158,8 @@ def run_once(
             outcome.errors = result.errors
         except Exception as err:  # noqa: BLE001 - a dead run is a finding
             outcome.crashed = f"{type(err).__name__}: {err}"
-        report = check_linearizable(history)
+        with _profile.span("check.linearizability"):
+            report = check_linearizable(history)
         outcome.violations = [v.to_wire() for v in suite.violations]
         outcome.linearizable = report.ok
         outcome.lin_detail = report.describe()
@@ -176,10 +180,47 @@ class ExploreReport:
     runs: int = 0
     failures: list = field(default_factory=list)  # RunOutcome
     bundles: list = field(default_factory=list)  # Path
+    # Every run's outcome digest, in sweep order — the determinism
+    # witness the parallel explorer is audited against (same digests for
+    # every --jobs value).
+    digests: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=0`` (auto): the CPUs this process may
+    actually run on, which on a containerized CI runner can be fewer
+    than ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _run_job(job: tuple[str, int, str | None]) -> RunOutcome:
+    """Worker-process entry: one complete experiment, looked up by
+    scenario *name* so the job tuple stays trivially picklable."""
+    name, seed, mutation = job
+    return run_once(SCENARIOS[name], seed, mutation=mutation)
+
+
+def _outcome_stream(
+    jobs_list: list[tuple[str, int, str | None]], jobs: int
+) -> Iterator[RunOutcome]:
+    """Yield one outcome per job, *in submission order* regardless of
+    worker count. Each seed is an independent deterministic simulation,
+    so fanning seeds out to processes changes only wall-clock time; the
+    parent consumes results in order, which keeps logs, failure lists,
+    and bundle writes byte-identical to a serial sweep."""
+    if jobs <= 1 or len(jobs_list) <= 1:
+        for job in jobs_list:
+            yield _run_job(job)
+        return
+    with multiprocessing.Pool(processes=min(jobs, len(jobs_list))) as pool:
+        yield from pool.imap(_run_job, jobs_list)
 
 
 def explore(
@@ -188,26 +229,39 @@ def explore(
     mutation: str | None = None,
     bundle_dir: Path | None = None,
     log=None,
+    jobs: int = 1,
 ) -> ExploreReport:
-    """Sweep ``scenario_names`` × ``seeds``; write a bundle per failure."""
-    report = ExploreReport()
+    """Sweep ``scenario_names`` × ``seeds``; write a bundle per failure.
+
+    ``jobs`` > 1 fans the (scenario, seed) matrix out to a process pool;
+    ``jobs=0`` sizes the pool to the available CPUs. Results merge back
+    in deterministic sweep order — verdicts, digests, and bundles are
+    byte-identical for every job count.
+    """
     for name in scenario_names:
-        scenario = SCENARIOS.get(name)
-        if scenario is None:
+        if name not in SCENARIOS:
             raise ReproError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
-        for seed in seeds:
-            outcome = run_once(scenario, seed, mutation=mutation)
-            report.runs += 1
-            if not outcome.ok:
-                report.failures.append(outcome)
-                if bundle_dir is not None:
-                    report.bundles.append(write_bundle(outcome, bundle_dir))
-            if log is not None:
-                status = "ok" if outcome.ok else ",".join(outcome.failure_kinds())
-                log(
-                    f"[{report.runs}] {name} seed={seed}: {status} "
-                    f"(committed={outcome.committed}, faults={len(outcome.fault_events) // 2})"
-                )
+    if jobs == 0:
+        jobs = default_jobs()
+    jobs_list = [
+        (name, seed, mutation) for name in scenario_names for seed in seeds
+    ]
+    report = ExploreReport()
+    for (name, seed, _), outcome in zip(
+        jobs_list, _outcome_stream(jobs_list, jobs)
+    ):
+        report.runs += 1
+        report.digests.append(outcome.digest())
+        if not outcome.ok:
+            report.failures.append(outcome)
+            if bundle_dir is not None:
+                report.bundles.append(write_bundle(outcome, bundle_dir))
+        if log is not None:
+            status = "ok" if outcome.ok else ",".join(outcome.failure_kinds())
+            log(
+                f"[{report.runs}] {name} seed={seed}: {status} "
+                f"(committed={outcome.committed}, faults={len(outcome.fault_events) // 2})"
+            )
     return report
 
 

@@ -1,0 +1,328 @@
+"""Harness speed: parallel seed exploration + profiler-off overhead.
+
+The model checker's budget is *seeds per minute*: every safety argument
+in this repo rests on how much of the (scenario, seed) matrix the
+explorer can cover. This experiment measures the three things the
+harness-speed work changed and proves none of them changed what the
+harness computes:
+
+1. **Parallel exploration** — the same seed batch swept with ``jobs=1``
+   and ``jobs=N``; reports wall time and seeds/minute for both and
+   asserts the per-run outcome digests are identical in order. Each
+   seed is an independent deterministic simulation, so fanning out to
+   worker processes may only change wall-clock time.
+2. **Bundle byte-equality** — a known-failing batch (a safety mutation
+   the monitors catch) bundled under both job counts; the repro-bundle
+   files must be byte-identical, name for name.
+3. **Single-run cost + attribution** — one paper-topology run timed
+   uninstrumented, then re-run under ``repro.profile`` for the
+   component breakdown and the event-loop health stats
+   (:meth:`EventLoop.stats`). A separate microbench dispatches no-op
+   events through the real (profiler-off) loop and through a loop with
+   the instrumentation hook removed; the per-event delta, scaled by the
+   driven run's dispatch count, estimates the profiler's off-mode tax
+   as a fraction of wall time (gated at <= 2% by the bench).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.check.explorer import default_jobs, explore
+from repro.cluster import MyRaftReplicaset, paper_topology
+from repro.errors import SimError
+from repro.experiments.common import format_table
+from repro.sim.loop import EventLoop
+from repro import profile as _profile
+
+# The known-failing batch for the bundle-equality check: this mutation
+# lets a candidate win elections with votes from its own region only,
+# which the quorum monitors catch on the crash-loop scenario's first
+# few seeds (the same pairing ``--mutate`` self-validation hunts).
+BUNDLE_SCENARIO = "leader-crash-loop"
+BUNDLE_MUTATION = "election-own-region-only"
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """One timed sweep of the seed batch at a fixed worker count."""
+
+    jobs: int
+    runs: int
+    failures: int
+    wall_seconds: float
+    seeds_per_minute: float
+    digests: tuple
+
+
+@dataclass
+class HarnessSpeedResult:
+    scenario: str
+    seeds: int
+    jobs: int
+    effective_cpus: int
+    serial: SweepTiming
+    parallel: SweepTiming
+    digests_match: bool
+    bundles_match: bool
+    bundle_count: int
+    single_run_wall: float
+    single_run_events: int
+    events_per_wall_second: float
+    profiled_run_wall: float
+    profile_report: dict  # component -> {"calls", "seconds"}
+    loop_stats: dict  # EventLoop.stats() of the driven run
+    dispatch_overhead_frac: float  # estimated profiler-off tax vs wall
+
+    @property
+    def speedup(self) -> float:
+        """Parallel sweep speedup over the serial sweep (wall-clock)."""
+        if self.parallel.wall_seconds <= 0:
+            return float("inf")
+        return self.serial.wall_seconds / self.parallel.wall_seconds
+
+    @property
+    def deterministic(self) -> bool:
+        return self.digests_match and self.bundles_match
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                f"jobs={t.jobs}",
+                t.runs,
+                t.failures,
+                f"{t.wall_seconds:.2f}",
+                f"{t.seeds_per_minute:,.1f}",
+            ]
+            for t in (self.serial, self.parallel)
+        ]
+        lines = [
+            f"harness speed: {self.scenario} x {self.seeds} seeds, "
+            f"{self.effective_cpus} effective CPUs",
+            format_table(
+                ["sweep", "runs", "failures", "wall_s", "seeds/min"], rows
+            ),
+            f"parallel speedup: {self.speedup:.2f}x "
+            f"(digests identical: {'yes' if self.digests_match else 'NO'}, "
+            f"bundles byte-identical: "
+            f"{'yes' if self.bundles_match else 'NO'}, "
+            f"{self.bundle_count} bundles compared)",
+            f"single run: {self.single_run_wall:.2f}s wall, "
+            f"{self.single_run_events:,} events "
+            f"({self.events_per_wall_second:,.0f} events/s); "
+            f"profiled re-run {self.profiled_run_wall:.2f}s",
+            f"profiler off-mode overhead: "
+            f"{self.dispatch_overhead_frac * 100:.2f}% of wall (est.)",
+            "loop: "
+            + ", ".join(
+                f"{k}={self.loop_stats[k]}"
+                for k in (
+                    "events_processed",
+                    "timers_scheduled",
+                    "heap_size",
+                    "cancelled_in_heap",
+                    "compactions",
+                )
+            ),
+        ]
+        if self.profile_report:
+            top = list(self.profile_report.items())[:6]
+            lines.append("top components (profiled run):")
+            for component, row in top:
+                lines.append(
+                    f"  {component:<24} {row['calls']:>9} calls "
+                    f"{row['seconds']:>8.3f}s"
+                )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "harness_speed",
+            "scenario": self.scenario,
+            "seeds": self.seeds,
+            "jobs": self.jobs,
+            "effective_cpus": self.effective_cpus,
+            "serial": asdict(self.serial),
+            "parallel": asdict(self.parallel),
+            "speedup": round(self.speedup, 3),
+            "digests_match": self.digests_match,
+            "bundles_match": self.bundles_match,
+            "bundle_count": self.bundle_count,
+            "single_run_wall": round(self.single_run_wall, 3),
+            "single_run_events": self.single_run_events,
+            "events_per_wall_second": round(self.events_per_wall_second, 1),
+            "profiled_run_wall": round(self.profiled_run_wall, 3),
+            "profile": self.profile_report,
+            "loop_stats": self.loop_stats,
+            "dispatch_overhead_frac": round(self.dispatch_overhead_frac, 5),
+        }
+
+
+def _timed_sweep(scenario: str, seeds: list[int], jobs: int) -> SweepTiming:
+    started = time.perf_counter()
+    report = explore([scenario], seeds, jobs=jobs)
+    wall = time.perf_counter() - started
+    return SweepTiming(
+        jobs=jobs,
+        runs=report.runs,
+        failures=len(report.failures),
+        wall_seconds=wall,
+        seeds_per_minute=report.runs / wall * 60.0 if wall > 0 else 0.0,
+        digests=tuple(report.digests),
+    )
+
+
+def _bundle_bytes(directory: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.json"))}
+
+
+def _compare_bundles(seeds: list[int], jobs: int) -> tuple[bool, int]:
+    """Write the known-failing batch's bundles at jobs=1 and jobs=N and
+    compare the files byte for byte. Returns (identical, bundle_count)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_dir = Path(tmp) / "serial"
+        parallel_dir = Path(tmp) / "parallel"
+        explore(
+            [BUNDLE_SCENARIO], seeds, mutation=BUNDLE_MUTATION,
+            bundle_dir=serial_dir, jobs=1,
+        )
+        explore(
+            [BUNDLE_SCENARIO], seeds, mutation=BUNDLE_MUTATION,
+            bundle_dir=parallel_dir, jobs=jobs,
+        )
+        serial = _bundle_bytes(serial_dir)
+        parallel = _bundle_bytes(parallel_dir)
+    return serial == parallel, len(serial)
+
+
+def _drive_cluster(seed: int, writes: int) -> tuple[MyRaftReplicaset, float]:
+    """One paper-topology run with a short write stream — the
+    "single-run wall-time" sample and the source of the loop stats."""
+    cluster = MyRaftReplicaset(paper_topology(), seed=seed, trace_capacity=256)
+    started = time.perf_counter()
+    primary = cluster.bootstrap()
+    value = "y" * 64
+    in_flight: list = []
+    submitted = 0
+    while submitted < writes or in_flight:
+        while submitted < writes and len(in_flight) < 16:
+            key = submitted % 32
+            in_flight.append(
+                primary.submit_write(
+                    "kv", {key: {"id": key, "n": submitted, "v": value}}
+                )
+            )
+            submitted += 1
+        cluster.run(0.05)
+        in_flight = [p for p in in_flight if not p.done()]
+    cluster.run(5.0)
+    return cluster, time.perf_counter() - started
+
+
+class _UninstrumentedLoop(EventLoop):
+    """``run_until`` with the profiler hook deleted — the baseline the
+    off-mode overhead microbench compares the real loop against."""
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> None:
+        fired = 0
+        while True:
+            timer = self._pop_ready(deadline)
+            if timer is None:
+                break
+            self._now = max(self._now, timer.fire_at)
+            self._processed += 1
+            timer._fire()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimError(f"run_until exceeded max_events={max_events}")
+        self._now = max(self._now, deadline)
+
+
+def _noop() -> None:
+    return None
+
+
+def _dispatch_once(loop_cls, events: int) -> float:
+    """Wall seconds to dispatch ``events`` no-op timers through
+    ``loop_cls`` — isolates pure dispatch cost."""
+    loop = loop_cls()
+    for i in range(events):
+        loop.call_at(float(i), _noop)
+    started = time.perf_counter()
+    loop.run_until(float(events))
+    return time.perf_counter() - started
+
+
+def _overhead_fraction(
+    driven_events: int,
+    driven_wall: float,
+    micro_events: int = 100_000,
+    repeats: int = 7,
+) -> float:
+    """Estimated profiler-off tax as a fraction of a real run's wall
+    time: per-event guard cost (real loop minus uninstrumented loop on
+    no-op dispatch) times the run's dispatch count, over its wall.
+    The two loops are measured interleaved, best-of-``repeats`` each,
+    so scheduler drift on a busy machine biases both the same way."""
+    with_guard = float("inf")
+    without = float("inf")
+    for _ in range(repeats):
+        with_guard = min(with_guard, _dispatch_once(EventLoop, micro_events))
+        without = min(without, _dispatch_once(_UninstrumentedLoop, micro_events))
+    per_event = max(0.0, (with_guard - without) / micro_events)
+    if driven_wall <= 0:
+        return 0.0
+    return per_event * driven_events / driven_wall
+
+
+def run_harness_speed(
+    scenario: str = "crashes",
+    seeds: int = 8,
+    jobs: int = 4,
+    base_seed: int = 1,
+    bundle_seeds: int = 2,
+    drive_writes: int = 200,
+    drive_seed: int = 7,
+) -> HarnessSpeedResult:
+    """Run the full harness-speed measurement suite."""
+    if _profile.ACTIVE is not None:
+        raise SimError("harness_speed must start with profiling off")
+    seed_list = list(range(base_seed, base_seed + seeds))
+    serial = _timed_sweep(scenario, seed_list, jobs=1)
+    parallel = _timed_sweep(scenario, seed_list, jobs=jobs)
+    bundles_match, bundle_count = _compare_bundles(
+        list(range(base_seed, base_seed + bundle_seeds)), jobs
+    )
+
+    cluster, single_wall = _drive_cluster(drive_seed, drive_writes)
+    loop_stats = cluster.loop.stats()
+    events = loop_stats["events_processed"]
+
+    _profile.enable()
+    try:
+        _, profiled_wall = _drive_cluster(drive_seed, drive_writes)
+        profile_report = _profile.profile()
+    finally:
+        _profile.disable()
+
+    return HarnessSpeedResult(
+        scenario=scenario,
+        seeds=seeds,
+        jobs=jobs,
+        effective_cpus=default_jobs(),
+        serial=serial,
+        parallel=parallel,
+        digests_match=serial.digests == parallel.digests,
+        bundles_match=bundles_match,
+        bundle_count=bundle_count,
+        single_run_wall=single_wall,
+        single_run_events=events,
+        events_per_wall_second=events / single_wall if single_wall else 0.0,
+        profiled_run_wall=profiled_wall,
+        profile_report=profile_report,
+        loop_stats=loop_stats,
+        dispatch_overhead_frac=_overhead_fraction(events, single_wall),
+    )

@@ -12,6 +12,7 @@ from typing import Any, Callable
 from repro.experiments.fig5_latency import run_fig5a, run_fig5c
 from repro.experiments.fig5_throughput import run_fig5b, run_fig5d
 from repro.experiments.flexi_ablation import run_flexi_ablation
+from repro.experiments.harness_speed import run_harness_speed
 from repro.experiments.mock_election_ablation import run_mock_election_ablation
 from repro.experiments.parallel_apply import run_parallel_apply
 from repro.experiments.proxy_bandwidth import run_proxy_bandwidth
@@ -43,6 +44,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "read-path": run_read_path,
     "write-path": run_write_path,
     "sharding": run_sharding,
+    "harness-speed": run_harness_speed,
 }
 
 

@@ -13,6 +13,7 @@ live log files, updated on rotation and purge.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import BinlogError
 from repro.mysql.events import (
@@ -133,6 +134,16 @@ class BinlogFile:
 
     def raw_bytes(self) -> bytes:
         return bytes(self._buffer)
+
+    def iter_transaction_bytes(self) -> "Iterator[memoryview]":
+        """Encoded bytes of each transaction, in append order, as
+        zero-copy views of the buffer — the checksum/ship fast path that
+        skips both the event parse and the re-encode. Views are only
+        valid until the next append/truncate; hash or copy them
+        immediately."""
+        view = memoryview(self._buffer)
+        for offset, length in self._txn_offsets:
+            yield view[offset:offset + length]
 
     def checksum(self) -> str:
         """Content hash for cross-replica log-equality checks (§5.1).

@@ -18,8 +18,10 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Any, ClassVar, Iterator
 
+from repro import profile as _profile
 from repro.errors import BinlogCorruptionError, BinlogError
 from repro.raft.types import OpId
 
@@ -40,10 +42,16 @@ class BinlogEvent:
         raise NotImplementedError
 
     def encode(self) -> bytes:
+        prof = _profile.ACTIVE
+        if prof is not None:
+            started = perf_counter()
         payload = json.dumps(self.payload_dict(), sort_keys=True, separators=(",", ":")).encode()
         header = _HEADER.pack(self.TYPE_CODE, len(payload))
         checksum = zlib.crc32(header + payload)
-        return header + payload + _CRC.pack(checksum)
+        data = header + payload + _CRC.pack(checksum)
+        if prof is not None:
+            prof.account("binlog.encode", perf_counter() - started)
+        return data
 
     @property
     def wire_size(self) -> int:
@@ -305,6 +313,9 @@ def decode_event(data: bytes, offset: int = 0) -> tuple[BinlogEvent, int]:
     Raises :class:`BinlogCorruptionError` on truncation, a bad checksum,
     or an unknown type code.
     """
+    prof = _profile.ACTIVE
+    if prof is not None:
+        started = perf_counter()
     end_of_header = offset + _HEADER.size
     if end_of_header > len(data):
         raise BinlogCorruptionError(f"truncated header at offset {offset}")
@@ -322,7 +333,10 @@ def decode_event(data: bytes, offset: int = 0) -> tuple[BinlogEvent, int]:
         raise BinlogCorruptionError(f"unknown event type {type_code} at offset {offset}")
     # Decode bytes explicitly: json.loads on str skips encoding detection.
     payload = json.loads(data[end_of_header:end_of_payload].decode("utf-8"))
-    return event_cls.from_dict(payload), end_of_event
+    event = event_cls.from_dict(payload)
+    if prof is not None:
+        prof.account("binlog.decode", perf_counter() - started)
+    return event, end_of_event
 
 
 def decode_stream(data: bytes, offset: int = 0) -> Iterator[BinlogEvent]:
@@ -342,6 +356,14 @@ class Transaction:
 
     This is the unit Raft replicates. ``opid`` is stamped by Raft at
     commit time on the primary (§3.4) and travels inside the GtidEvent.
+
+    Transactions are immutable, and the codec is canonical (sorted-key
+    compact JSON), so the encoded byte form is a pure function of the
+    events — :meth:`encode` computes it once and memoizes. Stamping
+    helpers (:meth:`with_opid`, :meth:`with_commit_meta`) build *new*
+    transactions, which naturally invalidates the cache; the hot
+    re-encode sites (checksums, re-appends, replication fan-out,
+    ``wire_size`` accounting) all hit the memo.
     """
 
     events: tuple
@@ -404,7 +426,11 @@ class Transaction:
         return Transaction(events=(stamped,) + tuple(self.events[1:]))
 
     def encode(self) -> bytes:
-        return encode_events(list(self.events))
+        cached = self.__dict__.get("_encoded")
+        if cached is None:
+            cached = encode_events(list(self.events))
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     @property
     def wire_size(self) -> int:
@@ -412,7 +438,12 @@ class Transaction:
 
     @classmethod
     def decode(cls, data: bytes) -> "Transaction":
-        return cls(events=tuple(decode_stream(data)))
+        txn = cls(events=tuple(decode_stream(data)))
+        # The codec is canonical: bytes that decoded cleanly (crc-checked
+        # per event) ARE the transaction's encoded form, so a decoded
+        # transaction never pays to re-encode.
+        object.__setattr__(txn, "_encoded", bytes(data))
+        return txn
 
     @staticmethod
     def peek_opid(data: bytes) -> OpId | None:

@@ -196,10 +196,16 @@ class MySQLLogManager:
         independent of persona naming and file boundaries — the §5.1
         leader/follower log-equality check. sha256, because the encoded
         stream embeds per-event crc32s which make an outer crc32 constant.
+
+        Hashes the transactions' stored byte ranges directly: files only
+        ever hold canonical ``Transaction.encode()`` output (appends are
+        encoded bytes, truncation keeps a prefix), so the raw ranges are
+        byte-identical to a decode→re-encode pass at none of the cost.
         """
         digest = hashlib.sha256()
-        for txn in self.all_transactions():
-            digest.update(txn.encode())
+        for name in self.index.names():
+            for txn_bytes in self.files[name].iter_transaction_bytes():
+                digest.update(txn_bytes)
         return digest.hexdigest()
 
     def describe(self) -> list[dict[str, Any]]:

@@ -6,37 +6,69 @@ scheduled for the same instant fire in the order they were scheduled.
 
 Time is a ``float`` in seconds. Nothing here sleeps on the wall clock; a
 multi-minute failover drill runs in milliseconds of real time.
+
+Cancellation is lazy (O(1)): a cancelled entry stays in the heap and is
+skipped when popped. Cancellation-heavy workloads (every heartbeat arms
+an election timer that is almost always cancelled) used to pin dead
+entries until their fire time; the loop now *compacts* the heap when the
+cancelled fraction crosses a threshold. Compaction only removes entries
+whose callbacks can never run and re-heapifies the survivors — pop order
+is the total order ``(fire_at, seq)`` either way, so the schedule is
+bit-for-bit unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable
 
+from repro import profile as _profile
 from repro.errors import SimError
+
+# Compact when the heap holds at least COMPACT_MIN_SIZE entries and at
+# least COMPACT_FRACTION of them are cancelled. The floor keeps tiny
+# unit-test heaps on the zero-bookkeeping path; the fraction bounds
+# wasted memory/pop work at a constant factor.
+COMPACT_MIN_SIZE = 256
+COMPACT_FRACTION = 0.5
 
 
 class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     Cancellation is lazy: the heap entry stays put and is skipped when
-    popped. This keeps ``cancel()`` O(1).
+    popped. This keeps ``cancel()`` O(1); the owning loop compacts the
+    heap when too many dead entries accumulate.
     """
 
-    __slots__ = ("fire_at", "seq", "_callback", "_args", "cancelled")
+    __slots__ = ("fire_at", "seq", "_callback", "_args", "cancelled", "_loop", "_in_heap")
 
-    def __init__(self, fire_at: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        fire_at: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        loop: "EventLoop | None" = None,
+    ):
         self.fire_at = fire_at
         self.seq = seq
         self._callback = callback
         self._args = args
         self.cancelled = False
+        self._loop = loop
+        self._in_heap = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled timers don't pin large closures.
         self._callback = _noop
         self._args = ()
+        if self._in_heap and self._loop is not None:
+            self._loop._note_cancelled()
 
     def _fire(self) -> None:
         self._callback(*self._args)
@@ -61,6 +93,12 @@ class EventLoop:
         self._seq = 0
         self._heap: list[Timer] = []
         self._processed = 0
+        # Cancelled-but-still-heaped entry count; drives compaction.
+        self._cancelled_in_heap = 0
+        self._compactions = 0
+        # Per-instance thresholds so stress tests can tighten them.
+        self.compact_min_size = COMPACT_MIN_SIZE
+        self.compact_fraction = COMPACT_FRACTION
 
     @property
     def now(self) -> float:
@@ -77,7 +115,8 @@ class EventLoop:
         if when < self._now:
             raise SimError(f"cannot schedule in the past: {when} < {self._now}")
         self._seq += 1
-        timer = Timer(when, self._seq, callback, args)
+        timer = Timer(when, self._seq, callback, args, self)
+        timer._in_heap = True
         heapq.heappush(self._heap, timer)
         return timer
 
@@ -92,14 +131,43 @@ class EventLoop:
         already queued for this instant)."""
         return self.call_at(self._now, callback, *args)
 
+    # -- cancellation bookkeeping -------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        size = len(self._heap)
+        if size >= self.compact_min_size and self._cancelled_in_heap >= size * self.compact_fraction:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Safe at any point: cancelled callbacks can never fire, and the
+        surviving entries' pop order is the same total order
+        ``(fire_at, seq)`` the lazy heap would have produced.
+        """
+        live = []
+        for timer in self._heap:
+            if timer.cancelled:
+                timer._in_heap = False
+            else:
+                live.append(timer)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
     def _pop_ready(self, deadline: float) -> Timer | None:
         while self._heap:
             timer = self._heap[0]
             if timer.cancelled:
                 heapq.heappop(self._heap)
+                timer._in_heap = False
+                self._cancelled_in_heap -= 1
                 continue
             if timer.fire_at > deadline:
                 return None
+            timer._in_heap = False
             return heapq.heappop(self._heap)
         return None
 
@@ -110,7 +178,13 @@ class EventLoop:
             return False
         self._now = max(self._now, timer.fire_at)
         self._processed += 1
-        timer._fire()
+        prof = _profile.ACTIVE
+        if prof is None:
+            timer._fire()
+        else:
+            started = perf_counter()
+            timer._fire()
+            prof.account("loop.dispatch", perf_counter() - started)
         return True
 
     def run_until(self, deadline: float, max_events: int | None = None) -> None:
@@ -127,7 +201,13 @@ class EventLoop:
                 break
             self._now = max(self._now, timer.fire_at)
             self._processed += 1
-            timer._fire()
+            prof = _profile.ACTIVE
+            if prof is None:
+                timer._fire()
+            else:
+                started = perf_counter()
+                timer._fire()
+                prof.account("loop.dispatch", perf_counter() - started)
             fired += 1
             if max_events is not None and fired > max_events:
                 raise SimError(f"run_until exceeded max_events={max_events}")
@@ -147,5 +227,21 @@ class EventLoop:
                 raise SimError(f"run_until_idle exceeded max_events={max_events}")
 
     def pending_count(self) -> int:
-        """Number of armed (non-cancelled) timers still queued."""
-        return sum(1 for t in self._heap if not t.cancelled)
+        """Number of armed (non-cancelled) timers still queued — O(1) now
+        that cancellations in the heap are counted as they happen."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def stats(self) -> dict[str, Any]:
+        """Loop health for benches and regression tracking: heap shape,
+        cancellation pressure, compaction work, and total dispatch count."""
+        size = len(self._heap)
+        return {
+            "now": self._now,
+            "events_processed": self._processed,
+            "timers_scheduled": self._seq,
+            "heap_size": size,
+            "armed_timers": size - self._cancelled_in_heap,
+            "cancelled_in_heap": self._cancelled_in_heap,
+            "cancelled_fraction": (self._cancelled_in_heap / size) if size else 0.0,
+            "compactions": self._compactions,
+        }

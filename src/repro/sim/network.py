@@ -16,8 +16,10 @@ from __future__ import annotations
 import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
+from repro import profile as _profile
 from repro.errors import SimError
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RngStream
@@ -178,6 +180,12 @@ class Network:
         # buffered until the end-of-instant flush event.
         self._coalesce_buffers: dict[tuple[str, str], list[Any]] = {}
         self._coalesce_stats: dict[str, dict[str, int]] = {}
+        # Per-(src, dst) send fast path: resolved hosts, latency model,
+        # and stats rows memoized on first send so the per-message cost
+        # is one dict probe instead of five lookups plus two setdefaults.
+        # Invalidated on membership change and on accounting reset (the
+        # cached LinkStats rows must be the live dict entries).
+        self._routes: dict[tuple[str, str], tuple[Any, Any, LatencyModel, LinkStats, LinkStats]] = {}
 
     # -- membership --------------------------------------------------------
 
@@ -185,9 +193,11 @@ class Network:
         if host.name in self._hosts:
             raise SimError(f"duplicate host name {host.name!r}")
         self._hosts[host.name] = host
+        self._routes.clear()
 
     def unregister(self, name: str) -> None:
         self._hosts.pop(name, None)
+        self._routes.clear()
 
     def host(self, name: str) -> "Host":
         try:
@@ -355,16 +365,37 @@ class Network:
         return dict(stats)
 
     def _send_now(self, src: str, dst: str, message: Any) -> None:
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            src_host = self._hosts.get(src)
+            if src_host is None:
+                raise SimError(f"send from unknown host {src!r}")
+            dst_host = self._hosts.get(dst)
+            if dst_host is None:
+                # Not memoizable — the destination may register later
+                # (member replacement). Account the drop and bail, with
+                # the same blocked-before-loss draw order as a live path.
+                stats = self.region_stats.setdefault((src_host.region, "?"), LinkStats())
+                link = self.link_stats.setdefault(key, LinkStats())
+                stats.drops += 1
+                link.drops += 1
+                self.total_drops += 1
+                if self.tracer is not None:
+                    self.tracer.emit("net.drop", src=src, dst=dst, type=type(message).__name__)
+                return
+            route = (
+                src_host,
+                dst_host,
+                self.spec.model_for(src_host.region, dst_host.region),
+                self.region_stats.setdefault((src_host.region, dst_host.region), LinkStats()),
+                self.link_stats.setdefault(key, LinkStats()),
+            )
+            self._routes[key] = route
+        _src_host, _dst_host, model, stats, link = route
         size = message_wire_size(message)
-        src_host = self._hosts.get(src)
-        dst_host = self._hosts.get(dst)
-        if src_host is None:
-            raise SimError(f"send from unknown host {src!r}")
-        region_pair = (src_host.region, dst_host.region if dst_host else "?")
-        stats = self.region_stats.setdefault(region_pair, LinkStats())
-        link = self.link_stats.setdefault((src, dst), LinkStats())
 
-        if dst_host is None or self.path_blocked(src, dst) or self._rng.bernoulli(self.spec.loss_probability):
+        if self.path_blocked(src, dst) or self._rng.bernoulli(self.spec.loss_probability):
             stats.drops += 1
             link.drops += 1
             self.total_drops += 1
@@ -374,16 +405,27 @@ class Network:
 
         stats.account(size)
         link.account(size)
-        latency = self.spec.model_for(src_host.region, dst_host.region).sample(self._rng)
+        latency = model.sample(self._rng)
         deliver_at = self.loop.now + latency
-        link_key = (src, dst)
-        previous = self._link_clock.get(link_key, 0.0)
+        previous = self._link_clock.get(key, 0.0)
         if deliver_at <= previous:
             deliver_at = previous + 1e-9  # FIFO: queue behind the stream
-        self._link_clock[link_key] = deliver_at
+        self._link_clock[key] = deliver_at
+        # Delivery is scheduled closure-free: the Timer carries the bound
+        # method plus an args tuple, so the per-message allocation is one
+        # heap entry, not a fresh closure object per packet.
         self.loop.call_at(deliver_at, self._deliver, src, dst, message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
+        prof = _profile.ACTIVE
+        if prof is None:
+            self._deliver_now(src, dst, message)
+            return
+        started = perf_counter()
+        self._deliver_now(src, dst, message)
+        prof.account("net.deliver", perf_counter() - started)
+
+    def _deliver_now(self, src: str, dst: str, message: Any) -> None:
         host = self._hosts.get(dst)
         if host is None or not host.alive or self.path_blocked(src, dst):
             self.total_drops += 1
@@ -434,3 +476,6 @@ class Network:
         self.link_stats.clear()
         self.total_drops = 0
         self._coalesce_stats.clear()
+        # Cached routes point at the LinkStats rows just discarded;
+        # rebuild them against the fresh dicts on next send.
+        self._routes.clear()

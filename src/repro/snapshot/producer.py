@@ -6,16 +6,22 @@ serialized to bytes so the transfer manager can stream it with honest
 wire-size accounting, and checksummed so a torn or corrupted transfer is
 detected before anything touches the follower's disk.
 
-The codec is deliberately simple and deterministic: ``repr`` of a plain
-dict, decoded with ``ast.literal_eval``. Simulated rows are built from
-Python literals, so the round trip is exact and no external
-serialization dependency is needed.
+The codec is compact, versioned, and deterministic: a 5-byte header
+(``SNAP`` magic + version) followed by zlib-compressed canonical JSON
+(sorted keys, no whitespace). Tables serialize as association lists —
+``[name, [[pk, row], ...]]`` — so non-string primary keys (the usual
+integer pks) survive the JSON round trip with their types intact.
+Simulated rows hold JSON-representable scalars, so the round trip is
+exact and no external serialization dependency is needed. The version
+byte lets a future codec change reject (rather than misparse) images
+staged by an older producer.
 """
 
 from __future__ import annotations
 
-import ast
 import hashlib
+import json
+import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import SnapshotError, SnapshotIntegrityError
@@ -59,15 +65,43 @@ class SnapshotImage:
         }
 
 
+SNAPSHOT_MAGIC = b"SNAP"
+SNAPSHOT_CODEC_VERSION = 1
+_HEADER_LEN = len(SNAPSHOT_MAGIC) + 1
+
+
 def _encode_payload(last_opid: OpId, executed_gtids: str, tables: dict) -> bytes:
     payload = {
-        "last_opid": (last_opid.term, last_opid.index),
+        "last_opid": [last_opid.term, last_opid.index],
         "executed_gtids": executed_gtids,
-        "tables": {
-            name: {pk: dict(row) for pk, row in rows.items()} for name, rows in tables.items()
-        },
+        "tables": [
+            [name, [[pk, dict(row)] for pk, row in rows.items()]]
+            for name, rows in sorted(tables.items())
+        ],
     }
-    return repr(payload).encode("utf-8")
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return SNAPSHOT_MAGIC + bytes([SNAPSHOT_CODEC_VERSION]) + zlib.compress(body, 6)
+
+
+def _decode_payload(blob: bytes) -> dict:
+    """Inverse of :func:`_encode_payload`; raises
+    :class:`SnapshotIntegrityError` on any malformed input."""
+    if len(blob) < _HEADER_LEN or blob[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise SnapshotIntegrityError("snapshot blob lacks codec magic")
+    version = blob[len(SNAPSHOT_MAGIC)]
+    if version != SNAPSHOT_CODEC_VERSION:
+        raise SnapshotIntegrityError(
+            f"unsupported snapshot codec version {version} "
+            f"(this build speaks {SNAPSHOT_CODEC_VERSION})"
+        )
+    try:
+        payload = json.loads(zlib.decompress(blob[_HEADER_LEN:]).decode("utf-8"))
+        payload["tables"] = {
+            name: {pk: row for pk, row in rows} for name, rows in payload["tables"]
+        }
+    except (ValueError, KeyError, TypeError, zlib.error) as exc:
+        raise SnapshotIntegrityError(f"snapshot decode failed: {exc}") from exc
+    return payload
 
 
 def build_image(
@@ -124,10 +158,7 @@ def assemble_image(manifest: dict, chunks: dict) -> SnapshotImage:
             f"snapshot {manifest['snapshot_id']!r} checksum mismatch "
             f"({checksum[:12]} != {manifest['checksum'][:12]})"
         )
-    try:
-        payload = ast.literal_eval(blob.decode("utf-8"))
-    except (ValueError, SyntaxError) as exc:  # pragma: no cover - defensive
-        raise SnapshotIntegrityError(f"snapshot decode failed: {exc}") from exc
+    payload = _decode_payload(blob)
     term, index = payload["last_opid"]
     last_opid = OpId(term=term, index=index)
     if (last_opid.term, last_opid.index) != tuple(manifest["last_opid"]):

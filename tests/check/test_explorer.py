@@ -6,7 +6,16 @@ used is deliberately small so the whole module stays in tier-1 budget.
 
 from dataclasses import replace
 
-from repro.check.explorer import replay_bundle, run_once, write_bundle
+import pytest
+
+from repro.check.explorer import (
+    default_jobs,
+    explore,
+    replay_bundle,
+    run_once,
+    write_bundle,
+)
+from repro.errors import ReproError
 from repro.check.mutations import MUTATIONS, apply_mutation
 from repro.check.scenarios import SCENARIOS
 from repro.check.shrink import ddmin, shrink_schedule
@@ -87,3 +96,55 @@ class TestMutations:
             pass
         outcome = run_once(QUICK, seed=3)
         assert outcome.ok
+
+
+class TestParallelExplore:
+    """The --jobs fan-out must be invisible in everything but wall time."""
+
+    def _register_quick(self, monkeypatch):
+        scenario = replace(QUICK, name="quick-parallel")
+        monkeypatch.setitem(SCENARIOS, "quick-parallel", scenario)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_parallel_digests_match_serial(self, monkeypatch):
+        self._register_quick(monkeypatch)
+        serial = explore(["quick-parallel"], [3, 4], jobs=1)
+        parallel = explore(["quick-parallel"], [3, 4], jobs=2)
+        assert serial.runs == parallel.runs == 2
+        assert serial.digests == parallel.digests
+
+    def test_jobs_zero_uses_auto_pool(self, monkeypatch):
+        self._register_quick(monkeypatch)
+        report = explore(["quick-parallel"], [3], jobs=0)
+        assert report.runs == 1
+        assert report.ok
+
+    def test_parallel_bundles_byte_identical(self, tmp_path):
+        # A known-failing run (the weakened-election mutation on seed 0,
+        # same pairing TestMutations uses) must produce byte-identical
+        # repro bundles whether it ran in-process or in a worker.
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = explore(
+            ["crashes"], [0, 1], mutation="election-own-region-only",
+            bundle_dir=serial_dir, jobs=1,
+        )
+        parallel = explore(
+            ["crashes"], [0, 1], mutation="election-own-region-only",
+            bundle_dir=parallel_dir, jobs=2,
+        )
+        assert serial.failures and parallel.failures
+        assert serial.digests == parallel.digests
+        serial_files = sorted(p.name for p in serial_dir.glob("*.json"))
+        parallel_files = sorted(p.name for p in parallel_dir.glob("*.json"))
+        assert serial_files == parallel_files and serial_files
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == (
+                parallel_dir / name
+            ).read_bytes()
+
+    def test_unknown_scenario_rejected_before_any_run(self):
+        with pytest.raises(ReproError):
+            explore(["no-such-scenario"], [1], jobs=4)

@@ -192,3 +192,59 @@ def test_transaction_roundtrip_property(txn_id, term, index, row, xid):
         )
     )
     assert Transaction.decode(txn.encode()) == txn
+
+
+class TestEncodeCache:
+    """Transaction.encode memoization: encode once, invalidate by
+    construction (stamping builds a new Transaction)."""
+
+    def make_txn(self, txn_id=1, opid=None):
+        return Transaction(
+            events=(
+                GtidEvent(UUID, txn_id, opid),
+                QueryEvent("BEGIN"),
+                TableMapEvent(1, "db", "t"),
+                RowsEvent("write", 1, ((None, {"id": txn_id}),)),
+                XidEvent(txn_id),
+            )
+        )
+
+    def test_encode_returns_same_object(self):
+        txn = self.make_txn()
+        assert txn.encode() is txn.encode()
+
+    def test_cached_bytes_match_fresh_encoding(self):
+        txn = self.make_txn(opid=OpId(2, 9))
+        assert txn.encode() == encode_events(list(txn.events))
+
+    def test_decode_seeds_cache_with_input_bytes(self):
+        data = self.make_txn(opid=OpId(1, 4)).encode()
+        decoded = Transaction.decode(data)
+        assert decoded.encode() == data
+        assert decoded.encode() is decoded.encode()
+
+    def test_codec_is_canonical(self):
+        # The decode-side cache is only sound if re-encoding the decoded
+        # events reproduces the input bytes exactly; check it without
+        # going through the cache.
+        data = self.make_txn(opid=OpId(3, 12)).encode()
+        assert encode_events(list(Transaction.decode(data).events)) == data
+
+    def test_with_opid_does_not_reuse_stale_bytes(self):
+        txn = self.make_txn()
+        before = txn.encode()
+        stamped = txn.with_opid(OpId(9, 99))
+        assert stamped.encode() != before
+        assert Transaction.decode(stamped.encode()).opid == OpId(9, 99)
+        assert txn.encode() is before  # original's cache untouched
+
+    def test_with_commit_meta_does_not_reuse_stale_bytes(self):
+        txn = self.make_txn()
+        before = txn.encode()
+        stamped = txn.with_commit_meta(
+            OpId(5, 50), last_committed=4, sequence_number=5, writeset=("t:1",)
+        )
+        assert stamped.encode() != before
+        restamped = Transaction.decode(stamped.encode())
+        assert restamped.gtid_event.sequence_number == 5
+        assert restamped.gtid_event.writeset == ("t:1",)

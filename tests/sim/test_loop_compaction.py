@@ -1,0 +1,137 @@
+"""Heap-compaction tests: cancellation-heavy loops stay small, and
+compaction never changes what fires or in what order."""
+
+import random
+
+from repro.sim.loop import COMPACT_FRACTION, COMPACT_MIN_SIZE, EventLoop
+
+
+def _storm(compact_min_size, timers=2000, cancel_prob=0.7, seed=42):
+    """A cancellation-heavy schedule with a fixed pseudo-random shape.
+    Returns (loop, fired order). Identical inputs give identical RNG
+    draws, so two storms differing only in the compaction threshold are
+    the same schedule."""
+    loop = EventLoop()
+    loop.compact_min_size = compact_min_size
+    rng = random.Random(seed)
+    seen = []
+    handles = [
+        loop.call_at(rng.uniform(0.0, 100.0), seen.append, i)
+        for i in range(timers)
+    ]
+    for handle in handles:
+        if rng.random() < cancel_prob:
+            handle.cancel()
+    loop.run_until(100.0)
+    return loop, seen
+
+
+class TestCompaction:
+    def test_compaction_preserves_firing_order(self):
+        # Same storm with compaction forced on (tiny floor) and off
+        # (floor above the heap size): identical events, identical order.
+        compacting, seen_compacting = _storm(compact_min_size=64)
+        lazy, seen_lazy = _storm(compact_min_size=10**9)
+        assert compacting._compactions > 0
+        assert lazy._compactions == 0
+        assert seen_compacting == seen_lazy
+        assert compacting.events_processed == lazy.events_processed
+
+    def test_storm_is_deterministic(self):
+        _, first = _storm(compact_min_size=64)
+        _, second = _storm(compact_min_size=64)
+        assert first == second
+
+    def test_small_heaps_never_compact(self):
+        # Below the floor the loop stays on the zero-bookkeeping path.
+        loop = EventLoop()
+        handles = [loop.call_after(1.0, lambda: None) for _ in range(50)]
+        for handle in handles:
+            handle.cancel()
+        assert loop._compactions == 0
+        assert loop.pending_count() == 0
+
+    def test_election_timer_pattern_keeps_heap_bounded(self):
+        # The pattern that motivated compaction: every heartbeat arms an
+        # election timer that the next heartbeat cancels. Lazily, dead
+        # timers pile up until their far-future fire time.
+        loop = EventLoop()
+        loop.compact_min_size = 64
+        ticks = 2000
+        state = {"pending": None, "fired": 0}
+
+        def election():
+            state["fired"] += 1
+
+        def heartbeat(n):
+            if state["pending"] is not None:
+                state["pending"].cancel()
+            state["pending"] = loop.call_after(10.0, election)
+            if n + 1 < ticks:
+                loop.call_after(0.1, heartbeat, n + 1)
+
+        loop.call_soon(heartbeat, 0)
+        loop.run_until(ticks * 0.1 + 1.0)
+        stats = loop.stats()
+        assert loop._compactions > 0
+        # Without compaction ~100 dead election timers ride in the heap
+        # (the 10s window at 0.1s ticks); with it the heap stays near
+        # the live count.
+        assert stats["heap_size"] <= loop.compact_min_size
+        assert state["fired"] == 0  # every election timer was cancelled
+
+    def test_cancel_after_fire_does_not_skew_counter(self):
+        # Cancelling a timer that already fired (or was already popped)
+        # must not make the loop think the heap holds a dead entry.
+        loop = EventLoop()
+        handle = loop.call_after(1.0, lambda: None)
+        loop.run_until(2.0)
+        handle.cancel()
+        assert loop._cancelled_in_heap == 0
+        assert loop.pending_count() == 0
+
+    def test_pending_count_is_consistent_across_compaction(self):
+        loop = EventLoop()
+        loop.compact_min_size = 64
+        handles = [loop.call_after(float(i + 1), lambda: None) for i in range(300)]
+        for handle in handles[:250]:
+            handle.cancel()
+        assert loop.pending_count() == 50
+        assert len(loop._heap) <= 300  # compaction shrank the heap
+        loop.run_until(400.0)
+        assert loop.pending_count() == 0
+
+
+class TestLoopStats:
+    def test_stats_shape_and_counts(self):
+        loop = EventLoop()
+        loop.call_after(1.0, lambda: None)
+        cancelled = loop.call_after(2.0, lambda: None)
+        cancelled.cancel()
+        stats = loop.stats()
+        assert stats["timers_scheduled"] == 2
+        assert stats["heap_size"] == 2
+        assert stats["armed_timers"] == 1
+        assert stats["cancelled_in_heap"] == 1
+        assert stats["cancelled_fraction"] == 0.5
+        assert stats["compactions"] == 0
+        loop.run_until(3.0)
+        stats = loop.stats()
+        assert stats["events_processed"] == 1
+        assert stats["heap_size"] == 0
+        assert stats["cancelled_fraction"] == 0.0
+        assert stats["now"] == 3.0
+
+    def test_default_thresholds(self):
+        loop = EventLoop()
+        assert loop.compact_min_size == COMPACT_MIN_SIZE
+        assert loop.compact_fraction == COMPACT_FRACTION
+
+    def test_cancelled_timer_releases_callback(self):
+        # cancel() must drop the callback/args references so dead timers
+        # do not pin large closures until compaction or fire time.
+        loop = EventLoop()
+        payload = object()
+        handle = loop.call_after(1.0, lambda p: None, payload)
+        handle.cancel()
+        assert handle._args == ()
