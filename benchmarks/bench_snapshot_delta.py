@@ -1,0 +1,140 @@
+"""Incremental delta snapshot bench (repro.experiments.snapshot_delta).
+
+Acceptance gates for the delta snapshot path: on the 3-region paper
+topology, re-catching-up a member after a short divergence must ship
+>= 5x fewer snapshot bytes AND finish >= 2x faster (simulated time) than
+re-shipping the full image, on the WORST seed — and the delta-installed
+engine must checksum byte-identical to the leader's and to what the
+full-image run produced.
+
+Two entry points:
+
+* ``python benchmarks/bench_snapshot_delta.py [--smoke] [--out FILE]``
+  runs the A/B over the seed matrix, prints per-seed reports, writes
+  ``BENCH_snapshot_delta.json``, and exits non-zero if a gate fails
+  (what CI's perf-smoke step runs).
+* ``pytest benchmarks/bench_snapshot_delta.py`` runs the same thing
+  under pytest-benchmark (``SNAPSHOT_DELTA_ENTRIES`` scales the load).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.snapshot_delta import SnapshotDeltaResult, run_snapshot_delta
+
+ENTRIES = int(os.environ.get("SNAPSHOT_DELTA_ENTRIES", "2600"))
+SEEDS = (1, 2, 3)
+SMOKE_ENTRIES = 1600
+SMOKE_SEEDS = (1, 2)
+
+BYTES_RATIO_GATE = 5.0
+SPEEDUP_GATE = 2.0
+
+
+def run_matrix(entries: int, seeds: tuple[int, ...]) -> list[SnapshotDeltaResult]:
+    return [run_snapshot_delta(entries=entries, seed=seed) for seed in seeds]
+
+
+def check_gates(results: list[SnapshotDeltaResult]) -> None:
+    for result in results:
+        assert result.full.caught_up and result.delta.caught_up, (
+            f"seed {result.seed}: a variant did not catch up"
+        )
+        assert result.delta.deltas_produced >= 1, (
+            f"seed {result.seed}: no delta snapshot was produced"
+        )
+        assert result.delta.delta_installs >= 1, (
+            f"seed {result.seed}: no delta snapshot was installed"
+        )
+        assert result.checksums_equal, (
+            f"seed {result.seed}: delta-installed engine is not byte-identical"
+        )
+    worst_bytes = min(r.bytes_ratio for r in results)
+    worst_speedup = min(r.speedup for r in results)
+    assert worst_bytes >= BYTES_RATIO_GATE, (
+        f"delta shipped only {worst_bytes:.1f}x fewer bytes on the worst seed "
+        f"(gate: {BYTES_RATIO_GATE}x)"
+    )
+    assert worst_speedup >= SPEEDUP_GATE, (
+        f"delta catch-up only {worst_speedup:.1f}x faster on the worst seed "
+        f"(gate: {SPEEDUP_GATE}x)"
+    )
+
+
+def to_json(results: list[SnapshotDeltaResult]) -> dict:
+    return {
+        "bench": "snapshot_delta",
+        "gates": {"bytes_ratio": BYTES_RATIO_GATE, "speedup": SPEEDUP_GATE},
+        "worst_bytes_ratio": min(r.bytes_ratio for r in results),
+        "worst_speedup": min(r.speedup for r in results),
+        "all_checksums_equal": all(r.checksums_equal for r in results),
+        "seeds": [
+            {
+                "seed": r.seed,
+                "entries": r.entries,
+                "distinct_keys": r.distinct_keys,
+                "divergence_writes": r.divergence_writes,
+                "divergence_keys": r.divergence_keys,
+                "bytes_ratio": r.bytes_ratio,
+                "speedup": r.speedup,
+                "checksums_equal": r.checksums_equal,
+                "full": {
+                    "catchup_seconds": r.full.catchup_seconds,
+                    "snapshot_bytes": r.full.snapshot_bytes,
+                    "chunks_sent": r.full.chunks_sent,
+                },
+                "delta": {
+                    "catchup_seconds": r.delta.catchup_seconds,
+                    "snapshot_bytes": r.delta.snapshot_bytes,
+                    "full_equivalent_bytes": r.delta.full_equivalent_bytes,
+                    "chunks_sent": r.delta.chunks_sent,
+                    "deltas_produced": r.delta.deltas_produced,
+                    "delta_installs": r.delta.delta_installs,
+                    "delta_fallbacks": r.delta.delta_fallbacks,
+                },
+            }
+            for r in results
+        ],
+    }
+
+
+def test_snapshot_delta(benchmark, report_printer):
+    results = benchmark.pedantic(
+        lambda: run_matrix(ENTRIES, SEEDS), rounds=1, iterations=1
+    )
+    report_printer("\n\n".join(r.format_report() for r in results))
+    check_gates(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small load ({SMOKE_ENTRIES} entries, seeds {list(SMOKE_SEEDS)}) for CI",
+    )
+    parser.add_argument("--entries", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_snapshot_delta.json")
+    args = parser.parse_args(argv)
+
+    entries = args.entries if args.entries is not None else (
+        SMOKE_ENTRIES if args.smoke else ENTRIES
+    )
+    seeds = SMOKE_SEEDS if args.smoke else SEEDS
+    results = run_matrix(entries, seeds)
+    for result in results:
+        print(result.format_report())
+        print()
+    payload = to_json(results)
+    payload["smoke"] = bool(args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    check_gates(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

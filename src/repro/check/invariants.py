@@ -19,6 +19,8 @@ QuorumIntersection          a new leader's vote quorum intersects the previous
                             leader cannot still commit behind the ring's back)
 SnapshotMonotonicity        installing a snapshot never regresses a member's
                             durable commit point
+DeltaInstallSafety          an engine seeded via a delta install hashes
+                            byte-identical to the full image it claims to equal
 ==========================  ====================================================
 
 The commit *ledger* — ``index -> (term, payload crc)`` recorded the first
@@ -95,7 +97,13 @@ class InvariantSuite:
     #: when a member is reimaged from a wiped disk).
     commit_floor: dict[str, int] = field(default_factory=dict)
     checks: dict[str, int] = field(
-        default_factory=lambda: {"elections": 0, "commits": 0, "snapshots": 0, "reads": 0}
+        default_factory=lambda: {
+            "elections": 0,
+            "commits": 0,
+            "snapshots": 0,
+            "reads": 0,
+            "delta_installs": 0,
+        }
     )
     _elections: dict[int, _Election] = field(default_factory=dict)
 
@@ -345,6 +353,24 @@ class InvariantSuite:
                 node,
                 f"snapshot image ends at {opid} but index {opid.index} "
                 f"committed at term {known[0]}",
+            )
+
+    def on_delta_installed(
+        self, node, snapshot_id: str, expected_crc: int, actual_crc: int
+    ) -> None:
+        """Called by the snapshot installer right after a delta-driven
+        cutover, with the producer's merged-state checksum and a fresh
+        hash of the engine that actually resulted. Any difference means
+        the base + delta did not reconstruct the full image — the
+        incremental path silently diverged from the state it claims to
+        equal."""
+        self.checks["delta_installs"] += 1
+        if actual_crc != expected_crc:
+            self._record(
+                "DeltaInstallSafety",
+                node,
+                f"delta install {snapshot_id} left engine crc {actual_crc}, "
+                f"expected {expected_crc}",
             )
 
     # -- end-of-run sweep ----------------------------------------------------

@@ -74,6 +74,10 @@ class Scenario:
     # region-partition builder is single-ring only.
     shards: int = 0
     shard_moves: int = 0
+    # Mid-run member reimages (wipe + restore-from-backup + rejoin), the
+    # snapshot subsystem's churn drill: each reimage forces an image or
+    # delta bootstrap and exercises DeltaInstallSafety.
+    reimages: int = 0
 
     def topology(self) -> ReplicaSetSpec:
         return paper_topology(
@@ -235,6 +239,29 @@ SCENARIOS: dict[str, Scenario] = {
             downtime=2.0,
             read_fraction=0.25,
             key_space=24,
+        ),
+        Scenario(
+            name="snapshot-churn",
+            description=(
+                "2-shard fleet with repeated crash/reimage of replicas "
+                "(restore-from-backup then delta snapshot catch-up, "
+                "DeltaInstallSafety armed) plus one online shard move"
+            ),
+            faults="random",
+            shards=2,
+            shard_moves=1,
+            reimages=3,
+            clients=3,
+            duration=18.0,
+            settle=8.0,
+            crash_leader_bias=0.4,
+            mean_interval=5.0,
+            downtime=1.5,
+            read_fraction=0.2,
+            # Wide key space so the rows changed between backup and
+            # compaction stay under the delta re-base fraction — the
+            # reimage drill then actually ships deltas, not full images.
+            key_space=96,
         ),
         Scenario(
             name="read-lease",

@@ -33,6 +33,7 @@ from typing import Any
 from repro.check.history import HistoryRecorder, check_linearizable
 from repro.check.invariants import MAX_VIOLATIONS, InvariantSuite, Violation
 from repro.check.scenarios import Scenario
+from repro.control.backup import take_backup
 from repro.cluster.topology import FleetSpec
 from repro.shard.fleet import Fleet
 from repro.shard.map import ShardMap
@@ -200,7 +201,13 @@ def _move_driver(fleet: Fleet, scenario: Scenario, seed: int, failures: list):
     the churn is recorded, not raised — move *liveness* is best-effort;
     move *safety* is what the monitors assert."""
     orchestrator = ShardMoveOrchestrator(
-        fleet, catchup_timeout=scenario.duration, overall_timeout=scenario.duration
+        fleet,
+        catchup_timeout=scenario.duration,
+        overall_timeout=scenario.duration,
+        # Snapshot-churn scenarios also exercise the backup-seeded
+        # allocate path: the incoming endpoint starts from a backup of
+        # the primary, so its bootstrap negotiates a delta snapshot.
+        seed_from_backup=scenario.reimages > 0,
     )
     yield scenario.duration * 0.25  # let the workload establish routes first
     shard_ids = fleet.shard_ids()
@@ -231,6 +238,71 @@ def _move_driver(fleet: Fleet, scenario: Scenario, seed: int, failures: list):
             yield orchestrator.start(plan)
         except Exception as err:  # noqa: BLE001 - stalled move is a liveness note
             failures.append(f"{plan.move_id} ({plan.step}): {type(err).__name__}: {err}")
+
+
+def _reimage_driver(fleet: Fleet, scenario: Scenario, seed: int, failures: list):
+    """Coroutine: wipe-and-rejoin ``scenario.reimages`` replicas mid-run,
+    the snapshot subsystem's churn drill. Each round compacts the ring's
+    leader (so the wiped member cannot be caught up from the log alone),
+    takes a backup of the victim, and reimages it seeded from that backup
+    — the rejoin then negotiates an incremental *delta* snapshot and
+    DeltaInstallSafety audits the installed bytes. A round that cannot
+    run under the churn (no leader, victim dark) is recorded, not raised
+    — reimage *liveness* is best-effort; install *safety* is what the
+    monitors assert."""
+    yield scenario.duration * 0.2  # let some writes land first
+    interval = scenario.duration * 0.6 / max(1, scenario.reimages)
+    shard_ids = fleet.shard_ids()
+    for n in range(scenario.reimages):
+        shard_id = shard_ids[(seed + n) % len(shard_ids)]
+        ring = fleet.ring(shard_id)
+        victim = backup = None
+        try:
+            primary = ring.primary_service()
+            primary_name = primary.host.name if primary is not None else None
+            victims = sorted(
+                m.name
+                for m in ring.current_membership().members
+                if m.has_storage_engine
+                and m.name != primary_name
+                and m.name in ring.hosts
+                and ring.hosts[m.name].alive
+            )
+            if victims:
+                victim = victims[(seed + n) % len(victims)]
+                # Backup FIRST, then let writes land before compacting:
+                # the backup must be a *stale* base so the rejoin needs
+                # rows past it — the delta-snapshot shape.
+                backup = take_backup(ring, victim)
+        except Exception as err:  # noqa: BLE001 - stalled reimage is a liveness note
+            failures.append(f"backup {shard_id} round {n}: {type(err).__name__}: {err}")
+        yield interval * 0.15
+        try:
+            # Rotate so the open binlog file closes: purge drops whole
+            # closed files, and the rotate is itself a replicated
+            # proposal, so give it a beat to commit before compacting.
+            primary = ring.primary_service()
+            if primary is not None:
+                primary.flush_binary_logs()
+        except Exception:  # noqa: BLE001 - leader may have just died
+            pass
+        yield interval * 0.1
+        try:
+            if victim is not None and backup is not None:
+                primary = ring.primary_service()
+                if primary is not None:
+                    try:
+                        # Purge the log prefix past the backup point: the
+                        # reimaged member cannot be caught up from the
+                        # log alone — it must image-bootstrap, and its
+                        # backup-seeded watermark negotiates a delta.
+                        primary.snapshot_and_compact()
+                    except Exception:  # noqa: BLE001 - leader may have just died
+                        pass
+                ring.reimage_member(victim, base_backup=backup)
+        except Exception as err:  # noqa: BLE001 - stalled reimage is a liveness note
+            failures.append(f"reimage {shard_id} round {n}: {type(err).__name__}: {err}")
+        yield interval * 0.75
 
 
 def run_sharded(
@@ -274,6 +346,7 @@ def run_sharded(
         injector = None
         scripted: FaultSchedule | None = None
         move_failures: list[str] = []
+        reimage_failures: list[str] = []
         try:
             fleet.bootstrap(timeout=30.0)
             if schedule is not None:
@@ -292,6 +365,12 @@ def run_sharded(
                     fleet.loop,
                     _move_driver(fleet, scenario, seed, move_failures),
                     label="move-driver",
+                )
+            if scenario.reimages > 0:
+                spawn(
+                    fleet.loop,
+                    _reimage_driver(fleet, scenario, seed, reimage_failures),
+                    label="reimage-driver",
                 )
             runner = FleetWorkloadRunner(
                 fleet,
@@ -336,6 +415,8 @@ def run_sharded(
         outcome.checks = checks
         if move_failures:
             outcome.checks["stalled_moves"] = len(move_failures)
+        if reimage_failures:
+            outcome.checks["stalled_reimages"] = len(reimage_failures)
         outcome.history_stats = history.stats()
         events = injector.events if injector is not None else (
             scripted.events if scripted is not None else []

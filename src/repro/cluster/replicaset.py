@@ -20,6 +20,7 @@ from repro.raft.config import RaftConfig
 from repro.raft.proxy import router_for
 from repro.raft.quorum import QuorumPolicy
 from repro.cluster.topology import ReplicaSetSpec
+from repro.snapshot import seed_engine_namespaces
 from repro.sim.clock import draw_skew
 from repro.sim.host import Host
 from repro.sim.loop import EventLoop
@@ -203,11 +204,18 @@ class MyRaftReplicaset:
     def restart(self, name: str) -> None:
         self.hosts[name].restart()
 
-    def reimage_member(self, name: str) -> Any:
+    def reimage_member(self, name: str, base_backup: Any = None) -> Any:
         """Replace ``name`` with a factory-fresh member: wipe the disk and
         start a brand-new service with an empty log. This is the worst-case
         bootstrap the snapshot subsystem exists for — the member rejoins
-        holding nothing and must be caught up from the ring."""
+        holding nothing and must be caught up from the ring.
+
+        With ``base_backup`` (a ``control.backup.Backup``), the wiped disk
+        is re-seeded from that image first — the realistic automation flow
+        (restore last night's backup, then catch up). The member then
+        rejoins with a non-zero engine watermark, so a leader whose log no
+        longer reaches back ships an incremental *delta* snapshot chained
+        on the backup instead of the full image."""
         host = self.hosts[name]
         if host.alive:
             host.crash()
@@ -221,6 +229,14 @@ class MyRaftReplicaset:
         if member is None:
             raise ReproError(f"unknown member {name!r}")
         host.disk.wipe()
+        if base_backup is not None and member.has_storage_engine:
+            seed_engine_namespaces(
+                host.disk,
+                base_backup.tables,
+                base_backup.executed_gtids,
+                base_backup.last_opid,
+            )
+            host.disk.namespace("raft")["current_term"] = base_backup.last_opid.term
         host.resurrect()
         router = router_for(self.raft_config)
         if member.has_storage_engine:
@@ -246,6 +262,11 @@ class MyRaftReplicaset:
                 router=router,
                 replicaset=self.spec.replicaset_id,
             )
+        if base_backup is not None and member.has_storage_engine:
+            # The log starts logically right after the backup point; the
+            # ring ships only the suffix (or a delta snapshot chained on
+            # the backup when the suffix is already compacted away).
+            service.storage.seed_base(base_backup.last_opid)
         host.replace_service(service)
         self.services[name] = service
         if self.monitor is not None:

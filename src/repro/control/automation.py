@@ -16,6 +16,7 @@ from repro.plugin.raft_plugin import MyRaftServer
 from repro.raft.proxy import router_for
 from repro.raft.types import MemberInfo, MemberType
 from repro.sim.host import Host
+from repro.snapshot import seed_engine_namespaces
 
 
 @dataclass
@@ -37,13 +38,30 @@ class MembershipAutomation:
     def __init__(self, cluster) -> None:
         self.cluster = cluster
 
-    def allocate_member(self, member: MemberInfo):
-        """Provision a fresh host + service for a pending AddMember."""
+    def allocate_member(self, member: MemberInfo, seed_backup=None):
+        """Provision a fresh host + service for a pending AddMember.
+
+        With ``seed_backup`` (a ``control.backup.Backup``) the new host's
+        disk is pre-seeded from that image before the service constructs
+        over it — the realistic provisioning flow (restore a recent
+        backup onto the replacement box, then let Raft ship the rest).
+        The member then joins with a non-zero engine watermark, so a
+        leader whose log prefix is purged negotiates an incremental
+        *delta* snapshot chained on the backup instead of the full image.
+        """
         cluster = self.cluster
         if member.name in cluster.hosts:
             raise ControlPlaneError(f"host {member.name!r} already exists")
         host = Host(cluster.loop, cluster.net, member.name, member.region,
                     tracer=cluster.tracer)
+        if seed_backup is not None and member.has_storage_engine:
+            seed_engine_namespaces(
+                host.disk,
+                seed_backup.tables,
+                seed_backup.executed_gtids,
+                seed_backup.last_opid,
+            )
+            host.disk.namespace("raft")["current_term"] = seed_backup.last_opid.term
         membership_with_new = cluster.membership.with_added(member, 0)
         router = router_for(cluster.raft_config)
         if member.has_storage_engine:
@@ -69,6 +87,8 @@ class MembershipAutomation:
                 router=router,
                 replicaset=cluster.spec.replicaset_id,
             )
+        if seed_backup is not None and member.has_storage_engine:
+            service.storage.seed_base(seed_backup.last_opid)
         host.attach_service(service)
         cluster.hosts[member.name] = host
         cluster.services[member.name] = service

@@ -109,6 +109,9 @@ def restore_member(cluster, member: str, backup: Backup) -> MyRaftServer:
     service.storage.seed_base(backup.last_opid)
     host.replace_service(service)
     cluster.services[member] = service
+    monitor = getattr(cluster, "monitor", None)
+    if monitor is not None:
+        service.node.monitor = monitor
     return service
 
 
@@ -141,3 +144,12 @@ class BackupVault:
                 f"(have: {sorted({b.source for b in self.backups})})"
             )
         return max(candidates, key=lambda b: b.taken_at)
+
+    def restore(self, member: str, source: str | None = None) -> MyRaftServer:
+        """Restore ``member`` from the newest vaulted backup (optionally
+        pinned to one source member's images). The restored member rejoins
+        with the backup as its engine base, so any snapshot transfer it
+        subsequently needs negotiates down to a delta of the rows changed
+        since the backup — the vault is what makes repeated member
+        replacement cheap."""
+        return restore_member(self.cluster, member, self.latest(source))

@@ -22,6 +22,7 @@ from repro.experiments.repl_hotpath import run_repl_hotpath
 from repro.experiments.rollout_drill import run_rollout_drill
 from repro.experiments.sharding import run_sharding
 from repro.experiments.snapshot_bootstrap import run_snapshot_bootstrap
+from repro.experiments.snapshot_delta import run_snapshot_delta
 from repro.experiments.table1_roles import run_table1
 from repro.experiments.table2_downtime import run_table2
 from repro.experiments.write_path import run_write_path
@@ -39,6 +40,7 @@ EXPERIMENTS: dict[str, Callable[..., Any]] = {
     "flexi-latency": run_flexi_ablation,
     "enable-raft": run_rollout_drill,
     "snapshot-bootstrap": run_snapshot_bootstrap,
+    "snapshot-delta": run_snapshot_delta,
     "repl-hotpath": run_repl_hotpath,
     "parallel-apply": run_parallel_apply,
     "read-path": run_read_path,

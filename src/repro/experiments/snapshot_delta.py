@@ -1,0 +1,263 @@
+"""Incremental delta snapshots vs full-image re-ship after divergence.
+
+:mod:`repro.experiments.snapshot_bootstrap` measures the *first* image
+bootstrap of a wiped member. This experiment measures the common
+steady-state case the delta codec exists for: a member that goes dark
+briefly, misses a burst of writes, and comes back to a leader whose log
+no longer reaches its tip. The member's engine still holds almost all of
+the state — re-shipping the full image repeats work; a delta chained on
+the member's watermark ships only the rows that actually changed while
+it was away.
+
+Setup (paper 3-region topology, one database + two logtailers per
+region):
+
+1. load a wide key space so the engine holds real state;
+2. crash the victim database (disk intact — this is a short outage, not
+   a reimage), then run a *divergence burst* of writes over a small key
+   subset;
+3. rotate + ``snapshot_and_compact()`` on the leader so its log no
+   longer reaches the victim's tip — catch-up must go through the
+   snapshot path;
+4. restart the victim and measure, from that instant, the simulated
+   seconds and snapshot bytes until its log and engine hold the
+   leader's pre-restart marks.
+
+The A/B toggles ``RaftConfig.snapshot_delta_enabled`` only; seeds,
+writes and fault timing are identical. The chunk size and ship-rate are
+deliberately small so transfer time scales with bytes shipped — the
+simulated-time speedup then reflects the byte savings rather than
+vanishing into RPC latency noise. The safety gate is byte-equality:
+after catch-up the delta-installed engine must checksum identical to the
+leader's and to the full-install run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import MyRaftReplicaset
+from repro.cluster.topology import paper_topology
+from repro.errors import ReproError
+from repro.experiments.common import format_table
+from repro.experiments.snapshot_bootstrap import _pump_writes, _quiesce
+from repro.raft.config import RaftConfig
+from repro.workload.profiles import sysbench_timing
+
+
+@dataclass(frozen=True)
+class DeltaVariant:
+    """One measured re-catch-up of the diverged member."""
+
+    label: str
+    caught_up: bool
+    catchup_seconds: float
+    snapshot_bytes: int
+    full_equivalent_bytes: int
+    chunks_sent: int
+    deltas_produced: int
+    delta_installs: int
+    delta_fallbacks: int
+    victim_checksum: int
+    leader_checksum: int
+
+
+@dataclass
+class SnapshotDeltaResult:
+    seed: int
+    entries: int
+    distinct_keys: int
+    divergence_writes: int
+    divergence_keys: int
+    full: DeltaVariant
+    delta: DeltaVariant
+
+    @property
+    def bytes_ratio(self) -> float:
+        """How many times fewer snapshot bytes the delta run shipped."""
+        return self.full.snapshot_bytes / max(1, self.delta.snapshot_bytes)
+
+    @property
+    def speedup(self) -> float:
+        return self.full.catchup_seconds / max(1e-9, self.delta.catchup_seconds)
+
+    @property
+    def checksums_equal(self) -> bool:
+        """The safety gate: delta-installed state is byte-identical to
+        the leader's and to what the full-image run produced."""
+        return (
+            self.delta.victim_checksum == self.delta.leader_checksum
+            and self.full.victim_checksum == self.full.leader_checksum
+            and self.delta.victim_checksum == self.full.victim_checksum
+        )
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                v.label,
+                f"{v.catchup_seconds:.2f}",
+                v.snapshot_bytes,
+                v.chunks_sent,
+                v.deltas_produced,
+                v.delta_installs,
+                "yes" if v.caught_up else "NO",
+            ]
+            for v in (self.full, self.delta)
+        ]
+        lines = [
+            f"snapshot delta (seed {self.seed}): {self.entries} writes over "
+            f"{self.distinct_keys} keys, then {self.divergence_writes} divergence "
+            f"writes over {self.divergence_keys} keys while the victim was down",
+            format_table(
+                [
+                    "transfer",
+                    "catchup_s",
+                    "snapshot_bytes",
+                    "chunks",
+                    "deltas",
+                    "delta_installs",
+                    "caught_up",
+                ],
+                rows,
+            ),
+            f"snapshot bytes shipped: {self.bytes_ratio:.1f}x fewer with deltas",
+            f"catch-up speedup: {self.speedup:.1f}x",
+            f"checksums byte-identical: {'yes' if self.checksums_equal else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def _transfer_config(delta_enabled: bool) -> RaftConfig:
+    """Small chunks + a low ship rate so transfer time is dominated by
+    bytes on the wire (what the A/B is about), not per-RPC latency."""
+    return RaftConfig(
+        snapshot_chunk_bytes=4 << 10,
+        snapshot_max_bytes_per_sec=float(4 << 10),
+        snapshot_retry_interval=0.5,
+        snapshot_delta_enabled=delta_enabled,
+    )
+
+
+def _measure_variant(
+    *,
+    delta_enabled: bool,
+    entries: int,
+    distinct_keys: int,
+    payload_bytes: int,
+    rotate_every: int,
+    divergence_writes: int,
+    divergence_keys: int,
+    seed: int,
+    victim: str,
+    timeout: float,
+) -> DeltaVariant:
+    cluster = MyRaftReplicaset(
+        paper_topology(),
+        seed=seed,
+        raft_config=_transfer_config(delta_enabled),
+        timing=sysbench_timing(myraft=True),
+        trace_capacity=5_000,
+    )
+    primary = cluster.bootstrap()
+    cluster.run(0.5)
+    _pump_writes(cluster, primary, entries, distinct_keys, payload_bytes, rotate_every)
+    _quiesce(cluster, primary)
+
+    # Short outage: crash with disk intact, then diverge on a small hot
+    # subset while the victim is away.
+    cluster.crash(victim)
+    victim_tip = cluster.services[victim].mysql.engine.last_committed_opid.index
+    # Rotate immediately so a file boundary lands right after the
+    # victim's tip — the divergence writes then live in files the
+    # compaction below can drop entirely, pushing first_index past the
+    # victim and forcing its catch-up through the snapshot path.
+    primary.flush_binary_logs()
+    cluster.run(0.5)
+    value = "y" * payload_bytes
+    for i in range(divergence_writes):
+        key = i % divergence_keys
+        primary.submit_write("kv", {key: {"id": key, "n": entries + i, "v": value}})
+        cluster.run(0.02)
+    cluster.run(1.0)
+    primary.flush_binary_logs()
+    cluster.run(1.0)
+    purged = primary.snapshot_and_compact()
+    if not purged or primary.storage.first_index() <= victim_tip:
+        raise ReproError(
+            "leader did not compact past the victim's tip; "
+            "raise divergence_writes or rotate more often"
+        )
+
+    goal_log = primary.node.last_opid.index
+    goal_engine = primary.mysql.engine.last_committed_opid.index
+    ship_before = dict(primary.node.snapshots.shipper.stats())
+    cluster.restart(victim)
+    start = cluster.loop.now
+    deadline = start + timeout
+    caught_up = False
+    while cluster.loop.now < deadline:
+        cluster.run(0.1)
+        service = cluster.services[victim]
+        if (
+            service.node.last_opid.index >= goal_log
+            and service.mysql.engine.last_committed_opid.index >= goal_engine
+        ):
+            caught_up = True
+            break
+    elapsed = cluster.loop.now - start
+
+    ship = primary.node.snapshots.shipper.stats()
+    installer = cluster.services[victim].node.snapshots.installer
+    return DeltaVariant(
+        label="delta" if delta_enabled else "full image",
+        caught_up=caught_up,
+        catchup_seconds=elapsed,
+        snapshot_bytes=ship["bytes_sent"] - ship_before["bytes_sent"],
+        full_equivalent_bytes=(
+            ship["bytes_full_equivalent"] - ship_before["bytes_full_equivalent"]
+        ),
+        chunks_sent=ship["chunks_sent"] - ship_before["chunks_sent"],
+        deltas_produced=ship["deltas_produced"] - ship_before["deltas_produced"],
+        delta_installs=installer.metrics["delta_installs"],
+        delta_fallbacks=ship["delta_fallbacks"] - ship_before["delta_fallbacks"],
+        victim_checksum=cluster.services[victim].mysql.checksum(),
+        leader_checksum=primary.mysql.checksum(),
+    )
+
+
+def run_snapshot_delta(
+    entries: int = 2600,
+    distinct_keys: int = 512,
+    payload_bytes: int = 120,
+    rotate_every: int = 200,
+    divergence_writes: int = 48,
+    divergence_keys: int = 16,
+    seed: int = 1,
+    catchup_timeout: float = 120.0,
+) -> SnapshotDeltaResult:
+    """A/B full-image vs delta re-catch-up after a short divergence."""
+    victim = "region1-db1"
+    common = dict(
+        entries=entries,
+        distinct_keys=distinct_keys,
+        payload_bytes=payload_bytes,
+        rotate_every=rotate_every,
+        divergence_writes=divergence_writes,
+        divergence_keys=divergence_keys,
+        seed=seed,
+        victim=victim,
+        timeout=catchup_timeout,
+    )
+    full = _measure_variant(delta_enabled=False, **common)
+    delta = _measure_variant(delta_enabled=True, **common)
+    if delta.deltas_produced < 1 or delta.delta_installs < 1:
+        raise ReproError("delta run did not actually ship a delta snapshot")
+    return SnapshotDeltaResult(
+        seed=seed,
+        entries=entries,
+        distinct_keys=distinct_keys,
+        divergence_writes=divergence_writes,
+        divergence_keys=divergence_keys,
+        full=full,
+        delta=delta,
+    )

@@ -17,14 +17,13 @@ through grant callbacks so the server layer can wrap them in futures.
 
 from __future__ import annotations
 
-import zlib
 from time import perf_counter
 from typing import Any, Callable
 
 from repro import profile as _profile
 from repro.errors import MySQLError
 from repro.mysql.gtid import Gtid, GtidSet
-from repro.mysql.tables import Row, RowChange, Table
+from repro.mysql.tables import Row, RowChange, Table, content_checksum
 from repro.raft.types import OpId
 
 LockKey = tuple[str, Any]
@@ -116,6 +115,14 @@ class StorageEngine:
         self._meta.setdefault("executed_gtids", GtidSet())
         self._meta.setdefault("last_committed_opid", OpId.zero())
         self._meta.setdefault("prepared_xids", set())
+        # Dirty-set tracking for incremental snapshots: per-table
+        # pk -> index of the last committed op that touched the row.
+        # ``dirty_floor`` is the oldest base index deltas remain valid
+        # for; ``dirty_intact`` drops to False if a non-replicated commit
+        # mutates rows (no opid to stamp), poisoning delta production.
+        self._meta.setdefault("dirty_seqs", {})
+        self._meta.setdefault("dirty_floor", 0)
+        self._meta.setdefault("dirty_intact", True)
         self.locks = LockTable()
         self._transactions: dict[int, EngineTransaction] = {}
         self.commits = 0
@@ -208,6 +215,11 @@ class StorageEngine:
             self.executed_gtids.add(txn.gtid)
         if txn.opid is not None:
             self._meta["last_committed_opid"] = max(self.last_committed_opid, txn.opid)
+            dirty = self._meta["dirty_seqs"]
+            for change in txn.changes:
+                dirty.setdefault(change.table, {})[change.pk] = txn.opid.index
+        elif txn.changes:
+            self._meta["dirty_intact"] = False
         txn.state = "committed"
         self._meta["prepared_xids"].discard(txn.xid)
         self._transactions.pop(txn.xid, None)
@@ -255,12 +267,57 @@ class StorageEngine:
     def checksum(self) -> int:
         """Deterministic content hash over all tables — the leader/follower
         comparison run continuously during shadow testing (§5.1)."""
-        digest = 0
-        for name in self.table_names():
-            for pk, row in self._tables[name].stable_items():
-                item = f"{name}|{pk!r}|{sorted(row.items())!r}".encode()
-                digest = zlib.crc32(item, digest)
-        return digest
+        return content_checksum({name: table.rows for name, table in self._tables.items()})
 
     def row_count(self) -> int:
         return sum(len(table) for table in self._tables.values())
+
+    # -- dirty-set tracking (incremental snapshots) ---------------------------
+
+    @property
+    def dirty_floor(self) -> int:
+        return self._meta["dirty_floor"]
+
+    def dirty_row_count(self) -> int:
+        return sum(len(seqs) for seqs in self._meta["dirty_seqs"].values())
+
+    def changed_since(self, base_index: int) -> dict[str, dict[Any, Row | None]] | None:
+        """Rows touched by commits after ``base_index``, without scanning
+        clean tables: ``{table: {pk: row-or-None}}`` where ``None`` marks
+        a delete. Returns ``None`` when no valid delta can be derived —
+        the base predates the tracking floor, or an untracked commit
+        poisoned the set — and the caller ships a full image instead.
+        """
+        if not self._meta["dirty_intact"] or base_index < self._meta["dirty_floor"]:
+            return None
+        changes: dict[str, dict[Any, Row | None]] = {}
+        for name, seqs in self._meta["dirty_seqs"].items():
+            table = self._tables.get(name)
+            touched: dict[Any, Row | None] = {}
+            for pk, seq in seqs.items():
+                if seq <= base_index:
+                    continue
+                row = table.rows.get(pk) if table is not None else None
+                touched[pk] = dict(row) if row is not None else None
+            if touched:
+                changes[name] = touched
+        return changes
+
+    def prune_dirty(self, through_index: int) -> int:
+        """Forget dirty entries at or below ``through_index`` and raise the
+        floor: deltas can then only be built against bases at or above it.
+        Returns the number of entries dropped."""
+        if through_index <= self._meta["dirty_floor"]:
+            return 0
+        dirty = self._meta["dirty_seqs"]
+        dropped = 0
+        for name in list(dirty):
+            seqs = dirty[name]
+            stale = [pk for pk, seq in seqs.items() if seq <= through_index]
+            for pk in stale:
+                del seqs[pk]
+            dropped += len(stale)
+            if not seqs:
+                del dirty[name]
+        self._meta["dirty_floor"] = through_index
+        return dropped

@@ -7,11 +7,30 @@ image, an update both.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any
 
 from repro.errors import MySQLError
 
 Row = dict[str, Any]
+
+
+def content_checksum(tables: dict[str, dict[Any, Row]]) -> int:
+    """Deterministic content hash over plain ``{name: {pk: row}}`` state.
+
+    This is the single definition of "engine content equality": the
+    engine's own :meth:`StorageEngine.checksum`, the snapshot producer's
+    delta state check, and the DeltaInstallSafety monitor all hash with
+    it, so a delta-installed engine can be compared byte-for-byte against
+    the full image it is meant to equal.
+    """
+    digest = 0
+    for name in sorted(tables):
+        rows = tables[name]
+        for pk, row in sorted(rows.items(), key=lambda item: repr(item[0])):
+            item = f"{name}|{pk!r}|{sorted(row.items())!r}".encode()
+            digest = zlib.crc32(item, digest)
+    return digest
 
 
 class Table:

@@ -39,7 +39,13 @@ from repro.raft.types import OpId
 from repro.sim.coro import SimFuture, with_timeout
 from repro.sim.host import Host
 from repro.sim.rng import RngStream
-from repro.snapshot import SnapshotImage, SnapshotManager, build_image, seed_engine_namespaces
+from repro.snapshot import (
+    SnapshotImage,
+    SnapshotManager,
+    build_delta,
+    build_image,
+    seed_engine_namespaces,
+)
 
 
 class _RaftDiskTiming(TimingModel):
@@ -369,6 +375,9 @@ class MyRaftServer:
                 self.raft_config,
                 produce_image=self._produce_snapshot_image,
                 install_image=self._install_snapshot_image,
+                produce_delta=self._produce_snapshot_delta,
+                engine_watermark=lambda: self.mysql.engine.last_committed_opid.index,
+                engine_tables=self._engine_tables,
             )
         else:
             self.node.snapshots = None
@@ -404,6 +413,47 @@ class MyRaftServer:
             config_index=self.node.membership.config_index,
             chunk_bytes=chunk_bytes,
         )
+
+    def _engine_tables(self) -> dict:
+        """Plain ``{name: {pk: row}}`` view of the engine for delta merge
+        and the DeltaInstallSafety re-hash (rows are copied downstream)."""
+        engine = self.mysql.engine
+        return {name: engine.table(name).rows for name in engine.table_names()}
+
+    def _produce_snapshot_delta(self, chunk_bytes: int, base_index: int) -> SnapshotImage | None:
+        """Build a delta of rows changed since ``base_index`` (a follower's
+        engine watermark). Returns None — making the shipper stay on the
+        full image — when the dirty tracker can't vouch for the base or
+        the re-base policy says the delta would be too fat to pay off."""
+        engine = self.mysql.engine
+        if engine.last_committed_opid.index <= base_index:
+            return None
+        changes = engine.changed_since(base_index)
+        if changes is None:
+            return None  # base predates the tracking floor (or tracking broke)
+        changed_rows = sum(len(touched) for touched in changes.values())
+        total_rows = max(1, engine.row_count())
+        if changed_rows > self.raft_config.snapshot_delta_max_fraction * total_rows:
+            return None  # re-base: most of the database changed anyway
+        image = build_delta(
+            source=self.host.name,
+            taken_at=self.host.loop.now,
+            last_opid=engine.last_committed_opid,
+            executed_gtids=str(engine.executed_gtids),
+            base_index=base_index,
+            changes=changes,
+            state_crc=engine.checksum(),
+            members_wire=self.node.membership.to_wire(),
+            config_index=self.node.membership.config_index,
+            chunk_bytes=chunk_bytes,
+        )
+        self._trace(
+            "myraft.snapshot_delta_produced",
+            base=base_index,
+            opid=str(image.last_opid),
+            rows=changed_rows,
+        )
+        return image
 
     def _install_snapshot_image(self, image: SnapshotImage) -> None:
         """Cutover to a received snapshot (runs atomically in one event):

@@ -103,6 +103,21 @@ class RaftConfig:
     # How often a shipping leader re-probes a silent follower with the
     # snapshot offer (the offer doubles as the resume cursor probe).
     snapshot_retry_interval: float = 0.5
+    # Incremental (delta) snapshots: a transfer to a follower with a
+    # usable engine base ships only the rows changed since that base,
+    # chained on the full image via the dirty-set tracker. Off
+    # reproduces always-full transfers for A/B benches.
+    snapshot_delta_enabled: bool = True
+    # Pipelined transfer window: chunks a session may have in flight
+    # (sent, unacked). The window opens at 1 and slow-starts up to this
+    # cap, collapsing on a retry timeout; 1 reproduces the legacy
+    # stop-and-wait transfer exactly.
+    snapshot_max_inflight_chunks: int = 8
+    # Re-base policy: when more than this fraction of the engine's rows
+    # changed since the follower's base, ship a full image instead — a
+    # delta that rewrites most of the database saves nothing and leaves
+    # a longer chain to verify.
+    snapshot_delta_max_fraction: float = 0.5
 
     # -- parallel replica apply (MTS, §3.5) ----------------------------------
     # Number of applier worker coroutines on replicas. 1 reproduces the
@@ -173,6 +188,10 @@ class RaftConfig:
             raise ValueError("snapshot_max_bytes_per_sec must be positive")
         if self.snapshot_retry_interval <= 0:
             raise ValueError("snapshot_retry_interval must be positive")
+        if self.snapshot_max_inflight_chunks < 1:
+            raise ValueError("snapshot_max_inflight_chunks must be >= 1")
+        if not 0.0 < self.snapshot_delta_max_fraction <= 1.0:
+            raise ValueError("snapshot_delta_max_fraction must be in (0, 1]")
         if self.parallel_apply_workers < 1:
             raise ValueError("parallel_apply_workers must be >= 1")
         if self.writeset_history_size < 1:

@@ -20,6 +20,9 @@ PROXY_OP_BYTES = 24
 # Per-chunk framing for snapshot transfer: snapshot id + sequence number
 # + flags + payload length.
 SNAPSHOT_CHUNK_OVERHEAD_BYTES = 32
+# One sha256 digest on the wire (manifest chunk list, held-digest
+# advertisements in the rsync-style dedupe negotiation).
+SNAPSHOT_DIGEST_WIRE_BYTES = 32
 
 
 @dataclass(frozen=True)
@@ -103,9 +106,14 @@ class InstallSnapshotRequest:
     ``last_opid``.
 
     Sent before any chunk (and re-sent as the retry/resume probe). The
-    follower answers with the next chunk sequence number it needs, which
-    makes the transfer resumable across follower crashes: staged chunks
-    survive on the simulated disk and only the tail is re-shipped.
+    follower answers with the lowest chunk it still needs plus the
+    digests it already holds, which makes the transfer resumable across
+    follower crashes *and* dedupable: staged chunks survive on the
+    simulated disk and only content the follower lacks is re-shipped.
+
+    ``kind`` distinguishes a full image from a delta chained on
+    ``base_index``; ``chunk_digests`` is the content-addressed manifest
+    the follower verifies each arriving chunk against.
     """
 
     term: int
@@ -117,11 +125,21 @@ class InstallSnapshotRequest:
     total_chunks: int = 0
     total_bytes: int = 0
     checksum: str = ""
+    kind: str = "full"  # "full" | "delta"
+    base_index: int = 0  # delta only: engine watermark the delta applies over
+    state_crc: int = 0  # content checksum of the (merged) installed state
+    chunk_digests: tuple = ()  # tuple[str, ...] sha256 hex per chunk
 
     @property
     def wire_size(self) -> int:
-        # Header + manifest (opid, counts, checksum) + per-member metadata.
-        return RPC_HEADER_BYTES + 48 + PROXY_OP_BYTES * len(self.members_wire)
+        # Header + manifest (opid, counts, checksum) + per-member metadata
+        # + the content-addressed chunk digest list.
+        return (
+            RPC_HEADER_BYTES
+            + 48
+            + PROXY_OP_BYTES * len(self.members_wire)
+            + SNAPSHOT_DIGEST_WIRE_BYTES * len(self.chunk_digests)
+        )
 
 
 @dataclass(frozen=True)
@@ -145,9 +163,14 @@ class InstallSnapshotResponse:
     """Follower → leader: progress ack for an offer or chunk.
 
     ``next_seq`` is the lowest chunk sequence the follower still needs
-    (the resume cursor). ``done`` reports a completed install, with
-    ``last_opid`` echoing the installed image's OpId so the leader can
-    advance match_index without replaying the shipped prefix.
+    (the resume cursor). ``held_digests`` advertises chunk content the
+    follower already has staged (from this transfer, an aborted one, or
+    a prior leader's) so the shipper can skip shipping it; and
+    ``engine_watermark`` reports the follower's engine apply position so
+    the shipper can switch the session to a delta chained on it. ``done``
+    reports a completed install, with ``last_opid`` echoing the installed
+    image's OpId so the leader can advance match_index without replaying
+    the shipped prefix.
     """
 
     term: int
@@ -157,8 +180,12 @@ class InstallSnapshotResponse:
     success: bool = True
     done: bool = False
     last_opid: OpId = field(default_factory=OpId.zero)
+    held_digests: tuple = ()  # tuple[str, ...] sha256 hex the follower holds
+    engine_watermark: int = 0  # follower's last committed engine op index
 
-    wire_size: int = RPC_HEADER_BYTES
+    @property
+    def wire_size(self) -> int:
+        return RPC_HEADER_BYTES + SNAPSHOT_DIGEST_WIRE_BYTES * len(self.held_digests)
 
 
 @dataclass(frozen=True)

@@ -331,6 +331,7 @@ class RaftNode:
             "applied_index": applied,
             "apply_lag": max(0, self.commit_index - applied) if applied is not None else None,
             "write_path": self._write_path_stats(),
+            "snapshot": self.snapshots.stats() if self.snapshots is not None else {},
         }
 
     def _write_path_stats(self) -> dict[str, Any]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.control.automation import MembershipAutomation
+from repro.control.backup import take_backup
 from repro.errors import (
     ControlPlaneError,
     MembershipError,
@@ -142,12 +143,18 @@ class ShardMoveOrchestrator:
         overall_timeout: float = 120.0,
         retry_backoff: float = 0.25,
         force_snapshot: bool = True,
+        seed_from_backup: bool = False,
     ) -> None:
         self.fleet = fleet
         self.catchup_timeout = catchup_timeout
         self.overall_timeout = overall_timeout
         self.retry_backoff = retry_backoff
         self.force_snapshot = force_snapshot
+        # Pre-seed the replacement endpoint from a fresh backup of the
+        # ring primary, so its snapshot bootstrap negotiates down to an
+        # incremental delta (rows changed since the backup) instead of
+        # re-shipping the full image.
+        self.seed_from_backup = seed_from_backup
 
     # -- planning -----------------------------------------------------------------
 
@@ -265,8 +272,16 @@ class ShardMoveOrchestrator:
     def _allocate(self, ring, plan: MovePlan) -> None:
         if plan.new_name in ring.services:
             return  # resumed after a death between allocate and journal
+        seed_backup = None
+        if self.seed_from_backup and plan.has_engine:
+            primary = ring.primary_service()
+            if primary is not None:
+                try:
+                    seed_backup = take_backup(ring, primary.host.name)
+                except _RETRYABLE:
+                    seed_backup = None  # full-image bootstrap still works
         automation = MembershipAutomation(ring)
-        automation.allocate_member(plan.new_member())
+        automation.allocate_member(plan.new_member(), seed_backup=seed_backup)
         self.fleet.adopt_endpoint(plan.shard_id, plan.new_name, plan.target_host)
 
     def _add(self, ring, plan: MovePlan, deadline):

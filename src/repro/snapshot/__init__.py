@@ -18,7 +18,13 @@ backup-driven member replacement.
 
 from repro.snapshot.installer import SnapshotInstaller, seed_engine_namespaces
 from repro.snapshot.policy import image_covers
-from repro.snapshot.producer import SnapshotImage, assemble_image, build_image
+from repro.snapshot.producer import (
+    SnapshotImage,
+    apply_delta,
+    assemble_image,
+    build_delta,
+    build_image,
+)
 from repro.snapshot.transfer import LeaderSnapshotShipper, SnapshotManager
 
 __all__ = [
@@ -26,7 +32,9 @@ __all__ = [
     "SnapshotImage",
     "SnapshotInstaller",
     "SnapshotManager",
+    "apply_delta",
     "assemble_image",
+    "build_delta",
     "build_image",
     "image_covers",
     "seed_engine_namespaces",

@@ -202,3 +202,63 @@ class TestChecksum:
         txn = engine.begin(1)
         engine.write_row(txn, "t", 1, {"v": "x"})
         assert engine.checksum() == before
+
+
+class TestDirtyTracking:
+    """Per-table (pk -> commit_seq) watermarks feeding delta snapshots."""
+
+    def commit(self, engine, xid, index, writes=(), deletes=()):
+        txn = engine.begin(xid)
+        for table, pk, row in writes:
+            engine.write_row(txn, table, pk, row)
+        for table, pk in deletes:
+            engine.delete_row(txn, table, pk)
+        engine.prepare(txn)
+        txn.opid = OpId(1, index)
+        engine.commit(txn)
+
+    def test_changed_since_returns_upserts_and_deletes(self):
+        engine = make_engine()
+        self.commit(engine, 1, 10, writes=[("t", 1, {"v": "a"}), ("t", 2, {"v": "b"})])
+        self.commit(engine, 2, 20, writes=[("t", 2, {"v": "c"})])
+        self.commit(engine, 3, 30, deletes=[("t", 1)])
+        changed = engine.changed_since(10)
+        assert changed == {"t": {2: {"v": "c"}, 1: None}}
+
+    def test_changed_since_full_base_is_empty(self):
+        engine = make_engine()
+        self.commit(engine, 1, 10, writes=[("t", 1, {"v": "a"})])
+        assert engine.changed_since(10) == {}
+
+    def test_commit_without_opid_poisons_tracking(self):
+        engine = make_engine()
+        self.commit(engine, 1, 10, writes=[("t", 1, {"v": "a"})])
+        txn = engine.begin(2)
+        engine.write_row(txn, "t", 2, {"v": "b"})
+        engine.prepare(txn)
+        engine.commit(txn)  # no opid: provenance unknown
+        assert engine.changed_since(5) is None
+
+    def test_prune_raises_floor_and_blocks_older_bases(self):
+        engine = make_engine()
+        self.commit(engine, 1, 10, writes=[("t", 1, {"v": "a"})])
+        self.commit(engine, 2, 20, writes=[("t", 2, {"v": "b"})])
+        dropped = engine.prune_dirty(10)
+        assert dropped == 1
+        assert engine.dirty_floor == 10
+        assert engine.changed_since(5) is None  # base below the floor
+        assert engine.changed_since(10) == {"t": {2: {"v": "b"}}}
+
+    def test_changed_since_copies_rows(self):
+        engine = make_engine()
+        self.commit(engine, 1, 10, writes=[("t", 1, {"v": "a"})])
+        changed = engine.changed_since(0)
+        changed["t"][1]["v"] = "mutated"
+        assert engine.table("t").get(1) == {"v": "a"}
+
+    def test_dirty_state_survives_restart(self):
+        durable_tables, durable_meta = {}, {}
+        engine = StorageEngine(durable_tables, durable_meta)
+        self.commit(engine, 1, 10, writes=[("t", 1, {"v": "a"})])
+        recovered = StorageEngine(durable_tables, durable_meta)
+        assert recovered.changed_since(0) == {"t": {1: {"v": "a"}}}

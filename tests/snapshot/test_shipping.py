@@ -97,9 +97,9 @@ class TestSnapshotBootstrap:
 
         cluster.reimage_member("region1-db1")
         staging = cluster.hosts["region1-db1"].disk.namespace(STAGING_NAMESPACE)
-        run_until(cluster, lambda: len(staging.get("chunks", {})) >= 1, step=0.02)
+        run_until(cluster, lambda: len(staging.get("pool", {})) >= 1, step=0.02)
         total = staging["manifest"]["total_chunks"]
-        assert len(staging["chunks"]) < total  # genuinely mid-transfer
+        assert len(staging["pool"]) < total  # genuinely mid-transfer
 
         cluster.crash("region1-db1")
         cluster.run(0.5)
@@ -138,7 +138,7 @@ class TestSnapshotBootstrap:
 
         cluster.reimage_member("region0-db3")
         staging = cluster.hosts["region0-db3"].disk.namespace(STAGING_NAMESPACE)
-        run_until(cluster, lambda: len(staging.get("chunks", {})) >= 1, step=0.02)
+        run_until(cluster, lambda: len(staging.get("pool", {})) >= 1, step=0.02)
 
         cluster.crash("region0-db1")
         new_primary = cluster.wait_for_primary(exclude="region0-db1")
